@@ -1,0 +1,123 @@
+// Command kvsbench reproduces the key-value-store validation of Section VI
+// (Fig. 11): a memslap-style Multi-Get workload against an RDMA-Memcached-
+// style server running the MemC3 baseline or one of the two SIMD-aware
+// index backends, over a simulated InfiniBand EDR fabric.
+//
+// Usage:
+//
+//	kvsbench [flags] [fig11a|fig11b|etc|cluster|single|all]
+//
+// `single` runs one backend/batch combination (see -backend / -batch) and
+// prints the full result line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/report"
+)
+
+func main() {
+	var (
+		items    = flag.Int("items", 200000, "stored key-value items (paper: 2M)")
+		workers  = flag.Int("workers", 26, "server worker threads")
+		clients  = flag.Int("clients", 26, "memslap client threads")
+		requests = flag.Int("requests", 3000, "measured Multi-Gets per configuration")
+		batches  = flag.String("batches", "16,64", "comma-separated Multi-Get sizes")
+		backend  = flag.String("backend", "vertical", "single: memc3|horizontal|vertical")
+		batch    = flag.Int("batch", 16, "single: Multi-Get size")
+		seed     = flag.Int64("seed", 7, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiments.KVSOptions{
+		Items:    *items,
+		Workers:  *workers,
+		Clients:  *clients,
+		Requests: *requests,
+		Batches:  parseBatches(*batches),
+		Seed:     *seed,
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, cmd := range args {
+		switch cmd {
+		case "all":
+			t, err := experiments.Fig11a(opts)
+			check(err)
+			emit(t, *csv)
+			t, err = experiments.Fig11b(opts)
+			check(err)
+			emit(t, *csv)
+		case "fig11a":
+			t, err := experiments.Fig11a(opts)
+			check(err)
+			emit(t, *csv)
+		case "fig11b":
+			t, err := experiments.Fig11b(opts)
+			check(err)
+			emit(t, *csv)
+		case "etc":
+			t, err := experiments.ETCStudy(opts)
+			check(err)
+			emit(t, *csv)
+		case "cluster":
+			t, err := experiments.ClusterStudy(opts)
+			check(err)
+			emit(t, *csv)
+		case "single":
+			res, err := experiments.RunKVS(*backend, *batch, opts)
+			check(err)
+			fmt.Println(res)
+			fmt.Printf("  phases per batch: pre=%.2fus lookup=%.2fus post=%.2fus (util %.2f)\n",
+				res.Breakdown.Pre*1e6, res.Breakdown.Lookup*1e6, res.Breakdown.Post*1e6, res.WorkerUtil)
+		default:
+			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, single, all)", cmd))
+		}
+	}
+}
+
+func parseBatches(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("invalid batch size %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Fprint(os.Stdout)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvsbench:", err)
+	os.Exit(1)
+}

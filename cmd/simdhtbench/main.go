@@ -1,0 +1,316 @@
+// Command simdhtbench is the SimdHT-Bench harness: it reproduces every
+// micro-benchmark table and figure of the paper's evaluation (Section V)
+// and exposes the validation engine for arbitrary configurations.
+//
+// Usage:
+//
+//	simdhtbench [flags] <experiment>...
+//
+// Experiments: table1, fig2, listing1, fig5 (cs1a), fig6 (cs1b),
+// fig7a (cs2), fig7b (cs3), fig8 (cs4), fig9 (cs5), validate, run, all.
+// Extensions beyond the paper: split (bucket-arrangement ablation), mixed
+// (read/update study, the paper's stated future work), and amac (group-
+// prefetching scalar baseline).
+//
+// `validate` prints the viable SIMD design choices for the layout given by
+// -n/-m/-keybits/-valbits/-size on the chosen -cpu. `run` additionally
+// measures them with the performance engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/core"
+	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/report"
+	"simdhtbench/internal/workload"
+)
+
+func main() {
+	var (
+		cpu     = flag.String("cpu", "skylake-a", "CPU model: skylake-a, skylake-b, cascadelake, icelake, zen2")
+		queries = flag.Int("queries", 6000, "measured queries per configuration")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		n       = flag.Int("n", 2, "validate/run: number of hash functions (N)")
+		m       = flag.Int("m", 4, "validate/run: slots per bucket (m; 1 = non-bucketized)")
+		keyBits = flag.Int("keybits", 32, "validate/run: key width in bits (16/32/64)")
+		valBits = flag.Int("valbits", 32, "validate/run: payload width in bits (16/32/64)")
+		size    = flag.Int("size", 1<<20, "validate/run: hash table size in bytes")
+		pattern = flag.String("pattern", "uniform", "run: access pattern (uniform|skewed)")
+		hitRate = flag.Float64("hitrate", 0.9, "run: query hit rate")
+		lf      = flag.Float64("lf", 0.9, "run: target load factor")
+		cores   = flag.Int("cores", 0, "run: concurrent cores (0 = all)")
+		trace   = flag.String("trace", "", "run: replay a recorded key trace file instead of a generated pattern; record: output path")
+		brk     = flag.Bool("breakdown", false, "run: also print the per-op cycle breakdown of each variant")
+	)
+	flag.Parse()
+
+	model, err := arch.ByName(*cpu)
+	if err != nil {
+		fatal(err)
+	}
+	opts := experiments.Options{Queries: *queries, Seed: *seed}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	for _, cmd := range args {
+		switch cmd {
+		case "all":
+			runAll(opts, *csv)
+		case "table1":
+			emit(experiments.Table1(), *csv)
+		case "fig2":
+			t, err := experiments.Fig2(opts)
+			check(err)
+			emit(t, *csv)
+		case "listing1":
+			s, err := experiments.Listing1()
+			check(err)
+			fmt.Println(s)
+		case "fig5", "cs1a":
+			t, err := experiments.Fig5(opts)
+			check(err)
+			emit(t, *csv)
+			if !*csv {
+				for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
+					g, err := experiments.Fig5Grid(p, opts)
+					check(err)
+					g.Fprint(os.Stdout)
+					fmt.Println()
+				}
+			}
+		case "fig6", "cs1b":
+			t, err := experiments.Fig6(opts)
+			check(err)
+			emit(t, *csv)
+		case "fig7a", "cs2":
+			t, err := experiments.Fig7a(opts)
+			check(err)
+			emit(t, *csv)
+		case "fig7b", "cs3":
+			t, err := experiments.Fig7b(opts)
+			check(err)
+			emit(t, *csv)
+		case "fig8", "cs4":
+			t, err := experiments.Fig8(opts)
+			check(err)
+			emit(t, *csv)
+		case "fig9", "cs5":
+			t, err := experiments.Fig9(opts)
+			check(err)
+			emit(t, *csv)
+		case "split":
+			t, err := experiments.SplitBucket(opts)
+			check(err)
+			emit(t, *csv)
+		case "mixed":
+			t, err := experiments.MixedWorkload(opts)
+			check(err)
+			emit(t, *csv)
+		case "amac":
+			t, err := experiments.AMACStudy(opts)
+			check(err)
+			emit(t, *csv)
+		case "arches":
+			t, err := experiments.EmergingArchitectures(opts)
+			check(err)
+			emit(t, *csv)
+		case "validate":
+			rows, err := core.ValidateGrid(model, [][2]int{{*n, *m}}, *keyBits, *valBits, *size, model.Widths)
+			check(err)
+			fmt.Print(core.FormatListing(model, *keyBits, *valBits, model.Widths, rows))
+		case "run":
+			pat := workload.Uniform
+			if *pattern == "skewed" {
+				pat = workload.Skewed
+			}
+			params := core.Params{
+				Arch: model, N: *n, M: *m, KeyBits: *keyBits, ValBits: *valBits,
+				TableBytes: *size, LoadFactor: *lf, HitRate: *hitRate,
+				Pattern: pat, Queries: *queries, Cores: *cores, Seed: *seed,
+			}
+			if *trace != "" {
+				f, err := os.Open(*trace)
+				check(err)
+				keys, err := workload.ReadTrace(f)
+				f.Close()
+				check(err)
+				params.Trace = keys
+			}
+			r, err := core.Run(params)
+			check(err)
+			emit(resultTable(r), *csv)
+			if *brk {
+				emit(breakdownTable(r), *csv)
+			}
+		case "advise":
+			pat := workload.Uniform
+			if *pattern == "skewed" {
+				pat = workload.Skewed
+			}
+			recs, err := core.Advise(core.AdviseRequest{
+				Params: core.Params{
+					Arch: model, KeyBits: *keyBits, ValBits: *valBits,
+					TableBytes: *size, HitRate: *hitRate, Pattern: pat,
+					Queries: *queries, Seed: *seed,
+				},
+				MinLoadFactor: *lf,
+			})
+			check(err)
+			t := report.NewTable(
+				fmt.Sprintf("Design guidance: (K,V)=(%d,%d)b, %s HT, %s pattern, LF >= %.2f on %s",
+					*keyBits, *valBits, sizeArg(*size), *pattern, *lf, model.Name),
+				"#", "Layout", "Best design", "M lookups/s/core", "Speedup", "Max LF")
+			for i, r := range recs {
+				design := r.Best.Choice.String()
+				if r.BestIsScalar {
+					design = "scalar"
+				}
+				t.AddRow(i+1, r.Layout.String(), design,
+					fmt.Sprintf("%.1f", r.Best.LookupsPerSec/1e6),
+					fmt.Sprintf("%.2fx", r.Speedup),
+					fmt.Sprintf("%.2f", r.MaxLF))
+			}
+			emit(t, *csv)
+		case "selftest":
+			checked, err := core.SelfTest(50, *seed)
+			check(err)
+			fmt.Printf("selftest: %d (configuration, variant) combinations agree with the native reference\n", checked)
+		case "record":
+			// Record the configured pattern's query stream to -trace for
+			// later replay (a seed-stable capture of the workload).
+			if *trace == "" {
+				fatal(fmt.Errorf("record requires -trace <output path>"))
+			}
+			pat := workload.Uniform
+			if *pattern == "skewed" {
+				pat = workload.Skewed
+			}
+			stored := make([]uint64, 0, 1<<16)
+			for i := uint64(2); len(stored) < 1<<16; i += 2 {
+				stored = append(stored, i)
+			}
+			gen, err := workload.New(stored, workload.Config{
+				Pattern: pat, HitRate: *hitRate, KeyBits: *keyBits, Seed: *seed,
+			})
+			check(err)
+			f, err := os.Create(*trace)
+			check(err)
+			err = workload.WriteTrace(f, workload.Keys(gen, *queries))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			check(err)
+			fmt.Printf("recorded %d %s queries to %s\n", *queries, pat, *trace)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q (want table1, fig2, listing1, fig5..fig9, split, mixed, amac, arches, validate, run, record, advise, selftest, all)", cmd))
+		}
+	}
+}
+
+func runAll(opts experiments.Options, csv bool) {
+	emit(experiments.Table1(), csv)
+	for _, f := range []func(experiments.Options) (*report.Table, error){
+		experiments.Fig2, experiments.Fig5, experiments.Fig6,
+		experiments.Fig7a, experiments.Fig7b, experiments.Fig8, experiments.Fig9,
+	} {
+		t, err := f(opts)
+		check(err)
+		emit(t, csv)
+	}
+	s, err := experiments.Listing1()
+	check(err)
+	fmt.Println("Listing 1: SIMD-aware design choices")
+	fmt.Println(s)
+}
+
+func resultTable(r *core.Result) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("%s | LF=%.2f (%d items)", r.Layout, r.AchievedLF, r.Inserted),
+		"Variant", "M lookups/s/core", "Cycles/lookup", "Speedup", "L1 hit", "DRAM/lookup")
+	t.AddRow("Scalar",
+		fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+		fmt.Sprintf("%.1f", r.Scalar.CyclesPerLookup),
+		"1.00x",
+		fmt.Sprintf("%.2f", r.Scalar.L1HitRate),
+		fmt.Sprintf("%.2f", r.Scalar.DRAMPerLookup))
+	for _, v := range r.Vector {
+		t.AddRow(v.Choice.String(),
+			fmt.Sprintf("%.1f", v.LookupsPerSec/1e6),
+			fmt.Sprintf("%.1f", v.CyclesPerLookup),
+			fmt.Sprintf("%.2fx", r.Speedup(v)),
+			fmt.Sprintf("%.2f", v.L1HitRate),
+			fmt.Sprintf("%.2f", v.DRAMPerLookup))
+	}
+	return t
+}
+
+// breakdownTable decomposes each variant's cycles/lookup into the memory
+// share and the top instruction classes.
+func breakdownTable(r *core.Result) *report.Table {
+	t := report.NewTable("Cycle breakdown per lookup (memory vs instruction classes)",
+		"Variant", "Total", "Memory", "Top instruction classes")
+	row := func(name string, m core.Measurement) {
+		type kv struct {
+			op arch.OpClass
+			cy float64
+		}
+		var ops []kv
+		for op, cy := range m.OpCycles {
+			ops = append(ops, kv{op, cy})
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].cy > ops[j].cy })
+		var parts []string
+		for i, o := range ops {
+			if i >= 4 || o.cy < 0.05 {
+				break
+			}
+			parts = append(parts, fmt.Sprintf("%v=%.1f", o.op, o.cy))
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", m.CyclesPerLookup),
+			fmt.Sprintf("%.1f", m.MemCyclesPerLookup),
+			strings.Join(parts, " "))
+	}
+	row("Scalar", r.Scalar)
+	for _, v := range r.Vector {
+		row(v.Choice.String(), v)
+	}
+	return t
+}
+
+func sizeArg(sz int) string {
+	if sz >= 1<<20 && sz%(1<<20) == 0 {
+		return fmt.Sprintf("%dMB", sz>>20)
+	}
+	return fmt.Sprintf("%dKB", sz>>10)
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Fprint(os.Stdout)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simdhtbench:", err)
+	os.Exit(1)
+}

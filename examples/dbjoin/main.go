@@ -1,0 +1,68 @@
+// dbjoin models the analytical-database scenario that motivated vertical
+// vectorization (Polychroniou et al., SIGMOD'15): a hash join probes a
+// build-side hash table with a long stream of distinct foreign keys —
+// batched lookups with a uniform access pattern and a selectivity given by
+// the join.
+//
+// The example builds the join's hash table as a non-bucketized 3-way cuckoo
+// HT (near-constant probe cost, >90% load factor), then probes it with the
+// vertical AVX-512 template — one probe-side key per SIMD lane — and
+// reports the speedup over the tuned scalar probe loop for both an
+// L2-resident and an out-of-cache build side.
+//
+// Run with: go run ./examples/dbjoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/core"
+	"simdhtbench/internal/workload"
+)
+
+func main() {
+	model := arch.SkylakeClusterA()
+
+	fmt.Println("hash-join probe phase: 3-way cuckoo build side, vertical SIMD probes")
+	fmt.Println()
+
+	for _, cfg := range []struct {
+		name        string
+		tableBytes  int
+		selectivity float64
+	}{
+		{"small dimension table (512 KB, cache-resident)", 512 << 10, 0.95},
+		{"large build side (32 MB, out of cache)", 32 << 20, 0.95},
+		{"semi-join with low selectivity (4 MB)", 4 << 20, 0.25},
+	} {
+		result, err := core.Run(core.Params{
+			Arch:       model,
+			N:          3,
+			M:          1,
+			KeyBits:    32,
+			ValBits:    32, // row-id payload
+			TableBytes: cfg.tableBytes,
+			LoadFactor: 0.9,
+			HitRate:    cfg.selectivity,
+			Pattern:    workload.Uniform, // foreign keys spread uniformly
+			Queries:    4000,
+			Seed:       7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", cfg.name)
+		fmt.Printf("  scalar probe:   %8.1f M probes/s/core\n", result.Scalar.LookupsPerSec/1e6)
+		for _, v := range result.Vector {
+			fmt.Printf("  %-15s %8.1f M probes/s/core  (%.2fx)\n",
+				v.Choice, v.LookupsPerSec/1e6, result.Speedup(v))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Takeaway: vertical SIMD keeps its lead while the build side fits on")
+	fmt.Println("chip; once probes stream from DRAM under full subscription the gap")
+	fmt.Println("narrows to the memory wall (Case Study 1b).")
+}

@@ -1,0 +1,65 @@
+// mixedworkload explores the paper's stated future work (Section VII):
+// what happens to SIMD-aware lookup designs when the workload is not
+// read-only. A fraction of operations overwrite stored payloads; updates
+// run the inherently scalar cuckoo insert path and fragment the vertical
+// template's lookup batches.
+//
+// Run with: go run ./examples/mixedworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/core"
+	"simdhtbench/internal/workload"
+)
+
+func main() {
+	model := arch.SkylakeClusterA()
+
+	fmt.Println("mixed read/update workloads: 3-way cuckoo HT, 1MB, Skylake, uniform reads")
+	fmt.Println()
+	fmt.Printf("%-16s %-14s %-18s %-9s %s\n",
+		"update fraction", "scalar Mops/s", "best SIMD Mops/s", "speedup", "")
+
+	for _, uf := range []float64{0, 0.02, 0.05, 0.10, 0.25, 0.50} {
+		r, err := core.RunMixed(core.Params{
+			Arch:       model,
+			N:          3,
+			M:          1,
+			KeyBits:    32,
+			ValBits:    32,
+			TableBytes: 1 << 20,
+			LoadFactor: 0.9,
+			HitRate:    0.9,
+			Pattern:    workload.Uniform,
+			Queries:    4000,
+			Seed:       21,
+		}, uf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, ok := r.Best()
+		if !ok {
+			log.Fatal("no SIMD choice")
+		}
+		speedup := r.Speedup(best)
+		bar := strings.Repeat("#", int(speedup*10))
+		fmt.Printf("%-16s %-14.1f %-18.1f %-9s %s\n",
+			fmt.Sprintf("%.0f%%", uf*100),
+			r.Scalar.LookupsPerSec/1e6,
+			best.LookupsPerSec/1e6,
+			fmt.Sprintf("%.2fx", speedup),
+			bar)
+	}
+
+	fmt.Println()
+	fmt.Println("Updates are inherently scalar (the cuckoo eviction path is a dependent")
+	fmt.Println("chase) and every update flushes the in-flight SIMD batch, so the")
+	fmt.Println("read-only speedup decays toward parity as the update fraction grows —")
+	fmt.Println("quantifying why the paper scopes SIMD-aware designs to read-dominated")
+	fmt.Println("workloads.")
+}

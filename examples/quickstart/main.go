@@ -1,0 +1,63 @@
+// Quickstart: build a SIMD-aware cuckoo hash table, validate which SIMD
+// designs fit it, and measure them against the scalar baseline with the
+// SimdHT-Bench performance engine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/core"
+	"simdhtbench/internal/workload"
+)
+
+func main() {
+	// 1. Pick a CPU model — the 40-core Skylake node of the paper's
+	//    Cluster A — and describe the workload: a (2,4) bucketized cuckoo
+	//    hash table of 1 MB holding 32-bit keys and payloads, filled to a
+	//    90% load factor and queried uniformly with a 90% hit rate.
+	params := core.Params{
+		Arch:       arch.SkylakeClusterA(),
+		N:          2,
+		M:          4,
+		KeyBits:    32,
+		ValBits:    32,
+		TableBytes: 1 << 20,
+		LoadFactor: 0.9,
+		HitRate:    0.9,
+		Pattern:    workload.Uniform,
+		Queries:    4000,
+		Seed:       42,
+	}
+
+	// 2. Ask the validation engine which SIMD designs apply. For a (2,4)
+	//    BCHT the horizontal approach fits a whole bucket in a 256-bit
+	//    vector (one bucket per vector) or both buckets in 512 bits.
+	layoutRows, err := core.ValidateGrid(params.Arch, [][2]int{{params.N, params.M}},
+		params.KeyBits, params.ValBits, params.TableBytes, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.FormatListing(params.Arch, params.KeyBits, params.ValBits, params.Arch.Widths, layoutRows))
+	fmt.Println()
+
+	// 3. Run the performance engine: it builds and fills the table,
+	//    generates the query stream, and measures the scalar baseline plus
+	//    every viable SIMD design choice on the simulated machine.
+	result, err := core.Run(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("table: %s, achieved load factor %.2f (%d items)\n\n",
+		result.Layout, result.AchievedLF, result.Inserted)
+	fmt.Printf("%-32s %12.1f M lookups/s/core (%.0f cycles/lookup)\n",
+		"Scalar", result.Scalar.LookupsPerSec/1e6, result.Scalar.CyclesPerLookup)
+	for _, v := range result.Vector {
+		fmt.Printf("%-32s %12.1f M lookups/s/core (%.0f cycles/lookup)  %.2fx\n",
+			v.Choice, v.LookupsPerSec/1e6, v.CyclesPerLookup, result.Speedup(v))
+	}
+}

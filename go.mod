@@ -1,0 +1,3 @@
+module simdhtbench
+
+go 1.22

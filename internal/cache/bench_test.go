@@ -1,0 +1,44 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchHierarchy() *Hierarchy {
+	return New(200,
+		Config{Name: "L1D", Size: 32 << 10, Assoc: 8, Latency: 4},
+		Config{Name: "L2", Size: 1 << 20, Assoc: 16, Latency: 12},
+		Config{Name: "L3", Size: 27 << 20, Assoc: 11, Latency: 40},
+	)
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	h := benchHierarchy()
+	h.Touch(0x1000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0x1000, 8)
+	}
+}
+
+func BenchmarkAccessRandomWorkingSet(b *testing.B) {
+	h := benchHierarchy()
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(8<<20)) &^ 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i&4095], 8)
+	}
+}
+
+func BenchmarkTouchSweep(b *testing.B) {
+	h := benchHierarchy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Touch(uint64(i%1024)*64, 64)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cache implements a set-associative, LRU, multi-level cache
+// hierarchy simulator.
+//
+// The performance engine charges every simulated memory access through a
+// Hierarchy, which walks L1 → L2 → L3 → DRAM and returns the access latency
+// in CPU cycles. Because the cuckoo hash tables in this repository live in
+// simulated arenas (internal/mem) with stable addresses, the hierarchy sees
+// the same line-granularity behaviour the paper's hardware saw: bucketized
+// tables that fit a bucket in one line cost one miss per probe, N-way tables
+// cost up to N, skewed workloads keep their hot set resident, and tables
+// larger than a level spill to the next one.
+package cache
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name    string  // "L1D", "L2", ...
+	Size    int     // total bytes
+	Assoc   int     // ways per set
+	Latency float64 // access latency in cycles on hit at this level
+}
+
+// Stats accumulates per-level hit/miss counters.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when the level was never touched.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// level is one set-associative cache level with LRU replacement. Sets are
+// kept in recency order (index 0 = most recently used), which makes LRU a
+// couple of slice rotations — plenty fast for a simulator.
+type level struct {
+	cfg      Config
+	sets     [][]uint64 // line tags per set, MRU first
+	numSets  uint64
+	stats    Stats
+	capacity int
+}
+
+func newLevel(cfg Config) *level {
+	if cfg.Size <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	lines := cfg.Size / mem.LineSize
+	numSets := lines / cfg.Assoc
+	if numSets == 0 {
+		numSets = 1
+	}
+	sets := make([][]uint64, numSets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, cfg.Assoc)
+	}
+	return &level{cfg: cfg, sets: sets, numSets: uint64(numSets), capacity: cfg.Assoc}
+}
+
+// access looks up a line address; on miss the line is installed, possibly
+// evicting the LRU way. Returns true on hit.
+func (l *level) access(line uint64) bool {
+	set := l.sets[(line/mem.LineSize)%l.numSets]
+	for i, tag := range set {
+		if tag == line {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			l.stats.Hits++
+			return true
+		}
+	}
+	l.stats.Misses++
+	l.install(line)
+	return false
+}
+
+func (l *level) install(line uint64) {
+	idx := (line / mem.LineSize) % l.numSets
+	set := l.sets[idx]
+	if len(set) < l.capacity {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = line
+	l.sets[idx] = set
+}
+
+func (l *level) reset() {
+	for i := range l.sets {
+		l.sets[i] = l.sets[i][:0]
+	}
+	l.stats = Stats{}
+}
+
+// Hierarchy is an inclusive multi-level cache backed by DRAM.
+type Hierarchy struct {
+	levels      []*level
+	dramLatency float64
+	dramAccess  uint64
+	// DRAMPenalty multiplies the DRAM latency; the execution engine sets it
+	// above 1.0 to model memory-bandwidth contention when all cores of a
+	// node probe a shared table (full-subscription mode in the paper).
+	DRAMPenalty float64
+}
+
+// New builds a hierarchy from outermost-first level configs and a DRAM
+// latency in cycles.
+func New(dramLatency float64, levels ...Config) *Hierarchy {
+	h := &Hierarchy{dramLatency: dramLatency, DRAMPenalty: 1.0}
+	for _, cfg := range levels {
+		h.levels = append(h.levels, newLevel(cfg))
+	}
+	return h
+}
+
+// Access simulates a data access of size bytes at addr and returns its
+// latency in cycles. Accesses spanning multiple cache lines charge each line
+// independently (the paper's layouts are engineered around exactly this
+// effect: a (2,4) BCHT bucket fits one line, a 3-way probe touches three).
+func (h *Hierarchy) Access(addr uint64, size int) float64 {
+	var cycles float64
+	first := mem.LineOf(addr)
+	n := mem.LinesTouched(addr, size)
+	for i := 0; i < n; i++ {
+		cycles += h.accessLine(first + uint64(i)*mem.LineSize)
+	}
+	return cycles
+}
+
+// AccessLine simulates a single-line access and returns its latency.
+func (h *Hierarchy) AccessLine(line uint64) float64 {
+	return h.accessLine(mem.LineOf(line))
+}
+
+func (h *Hierarchy) accessLine(line uint64) float64 {
+	c, _ := h.accessLineDetail(line)
+	return c
+}
+
+// AccessLineDetail performs a single-line access and returns its latency
+// plus the contention excess — the portion of the latency contributed by
+// the multi-core DRAM-bandwidth penalty. Overlapped access mechanisms
+// (gathers) can hide uncontended latency behind memory-level parallelism
+// but cannot hide bandwidth saturation, so the engine scales only the
+// non-excess part.
+func (h *Hierarchy) AccessLineDetail(line uint64) (cycles, contentionExcess float64) {
+	return h.accessLineDetail(mem.LineOf(line))
+}
+
+func (h *Hierarchy) accessLineDetail(line uint64) (float64, float64) {
+	var cycles float64
+	for _, l := range h.levels {
+		cycles += l.cfg.Latency
+		if l.access(line) {
+			return cycles, 0
+		}
+	}
+	h.dramAccess++
+	return cycles + h.dramLatency*h.DRAMPenalty, h.dramLatency * (h.DRAMPenalty - 1)
+}
+
+// Touch installs a line in every level without charging latency. The
+// performance engine uses it to warm caches before a measured run, mirroring
+// the paper's discarded warm-up iterations.
+func (h *Hierarchy) Touch(addr uint64, size int) {
+	first := mem.LineOf(addr)
+	n := mem.LinesTouched(addr, size)
+	for i := 0; i < n; i++ {
+		line := first + uint64(i)*mem.LineSize
+		for _, l := range h.levels {
+			l.access(line)
+		}
+	}
+}
+
+// Reset clears all cached lines and statistics.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		l.reset()
+	}
+	h.dramAccess = 0
+}
+
+// ResetStats clears statistics but keeps resident lines, so a measured run
+// can follow a warm-up without refilling the caches.
+func (h *Hierarchy) ResetStats() {
+	for _, l := range h.levels {
+		l.stats = Stats{}
+	}
+	h.dramAccess = 0
+}
+
+// LevelStats returns the stats of the named level, and whether it exists.
+func (h *Hierarchy) LevelStats(name string) (Stats, bool) {
+	for _, l := range h.levels {
+		if l.cfg.Name == name {
+			return l.stats, true
+		}
+	}
+	return Stats{}, false
+}
+
+// DRAMAccesses returns how many line fills went all the way to memory.
+func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramAccess }
+
+// Levels returns the names of the configured levels, outermost first.
+func (h *Hierarchy) Levels() []string {
+	names := make([]string, len(h.levels))
+	for i, l := range h.levels {
+		names[i] = l.cfg.Name
+	}
+	return names
+}

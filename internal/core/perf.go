@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/cuckoo"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/mem"
+	"simdhtbench/internal/workload"
+)
+
+// Measurement is the outcome of running one lookup variant over the query
+// stream on one simulated core.
+type Measurement struct {
+	Choice          Choice  // zero-value Choice for the scalar baseline
+	Scalar          bool    // true for the non-SIMD baseline
+	LookupsPerSec   float64 // per-core throughput
+	CyclesPerLookup float64
+	Hits            int
+	L1HitRate       float64
+	DRAMPerLookup   float64 // DRAM line fills per lookup
+
+	// MemCyclesPerLookup is the memory-system share of CyclesPerLookup;
+	// the remainder is instruction cost. OpCycles breaks the instruction
+	// share down by op class (cycles per lookup) — the instrument behind
+	// "where does each design spend its time".
+	MemCyclesPerLookup float64
+	OpCycles           map[arch.OpClass]float64
+}
+
+// Result is the performance engine's report for one Params configuration:
+// the scalar baseline and every viable SIMD design choice, measured over
+// the identical table and query stream.
+type Result struct {
+	Params     Params
+	Layout     cuckoo.Layout
+	AchievedLF float64
+	Inserted   int
+	Scalar     Measurement
+	// AMAC is the group-prefetching scalar baseline, measured only when
+	// Params.WithAMAC is set (an extension beyond the paper's baselines).
+	AMAC   *Measurement
+	Vector []Measurement
+}
+
+// Best returns the highest-throughput vector measurement, or false when no
+// SIMD design was viable.
+func (r *Result) Best() (Measurement, bool) {
+	var best Measurement
+	ok := false
+	for _, m := range r.Vector {
+		if !ok || m.LookupsPerSec > best.LookupsPerSec {
+			best, ok = m, true
+		}
+	}
+	return best, ok
+}
+
+// Speedup returns m's throughput relative to the scalar baseline.
+func (r *Result) Speedup(m Measurement) float64 {
+	if r.Scalar.LookupsPerSec == 0 {
+		return 0
+	}
+	return m.LookupsPerSec / r.Scalar.LookupsPerSec
+}
+
+// Run is the performance engine (Fig. 4 ④): it builds the configured table,
+// fills it to the target load factor, generates the query stream, validates
+// the SIMD design choices, and measures the scalar baseline plus every
+// viable SIMD variant. Each variant runs on a fresh simulated core (cold
+// cache) with an uncharged warm-up pass, exactly mirroring the paper's
+// discarded warm-up iterations.
+func Run(p Params) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	layout, err := cuckoo.LayoutForBytes(p.N, p.M, p.KeyBits, p.ValBits, p.TableBytes)
+	if err != nil {
+		return nil, err
+	}
+	layout.Split = p.Split
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+
+	space := mem.NewAddressSpace()
+	table, err := cuckoo.New(space, layout, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	stored, lf := table.FillRandom(p.LoadFactor, rng)
+	if len(stored) == 0 {
+		return nil, fmt.Errorf("core: table fill produced no items for %s", layout)
+	}
+
+	var gen workload.Generator
+	if len(p.Trace) > 0 {
+		for _, k := range p.Trace {
+			if k&^layout.KeyMask() != 0 {
+				return nil, fmt.Errorf("core: trace key %#x exceeds %d bits", k, p.KeyBits)
+			}
+		}
+		gen, err = workload.NewTraceGenerator("params", p.Trace)
+	} else {
+		gen, err = workload.New(stored, workload.Config{
+			Pattern:   p.Pattern,
+			ZipfTheta: p.ZipfTheta,
+			HitRate:   p.HitRate,
+			KeyBits:   p.KeyBits,
+			Seed:      p.Seed + 2,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	queries := workload.Keys(gen, p.Warmup+p.Queries)
+	stream := cuckoo.NewStream(space, queries, p.KeyBits)
+	res := cuckoo.NewResultBuf(space, len(queries), p.ValBits)
+
+	result := &Result{Params: p, Layout: layout, AchievedLF: lf, Inserted: len(stored)}
+
+	// Scalar baseline.
+	scalarRun := func(e *engine.Engine, from, n int) int {
+		return table.LookupScalarBatch(e, stream, from, n, res, nil)
+	}
+	result.Scalar = measure(p, table, scalarRun, arch.WidthScalar)
+	result.Scalar.Scalar = true
+
+	if p.WithAMAC {
+		cfg := cuckoo.AMACConfig{}
+		amacRun := func(e *engine.Engine, from, n int) int {
+			return table.LookupAMACBatch(e, stream, from, n, cfg, res, nil)
+		}
+		m := measure(p, table, amacRun, arch.WidthScalar)
+		m.Scalar = true
+		result.AMAC = &m
+	}
+
+	// Every viable SIMD design choice.
+	for _, c := range EnumerateChoices(p.Arch, layout, p.Widths, p.Approaches) {
+		c := c
+		var run func(e *engine.Engine, from, n int) int
+		switch c.Approach {
+		case Horizontal:
+			cfg := cuckoo.HorizontalConfig{Width: c.Width, BucketsPerVec: c.BucketsPerVec}
+			run = func(e *engine.Engine, from, n int) int {
+				return table.LookupHorizontalBatch(e, stream, from, n, cfg, res, nil)
+			}
+		case Vertical, VerticalHybrid:
+			cfg := cuckoo.VerticalConfig{Width: c.Width}
+			run = func(e *engine.Engine, from, n int) int {
+				return table.LookupVerticalBatch(e, stream, from, n, cfg, res, nil)
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown approach %v", c.Approach)
+		}
+		m := measure(p, table, run, c.Width)
+		m.Choice = c
+		result.Vector = append(result.Vector, m)
+	}
+	return result, nil
+}
+
+// measure runs warm-up (uncharged) then the measured window on a fresh
+// engine and converts cycles to per-core throughput at the license
+// frequency for the given maximum vector width.
+//
+// Warm-up first walks the entire table into the simulated hierarchy
+// (measuring steady state, as the paper's discarded warm-up iterations do:
+// a long-running shared read-only table is resident in whatever cache
+// levels can hold it) and then replays warm-up queries so the hot set's
+// recency reflects the access pattern.
+func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n int) int, width int) Measurement {
+	e := engine.New(p.Arch, p.Cores)
+	e.SetCharging(false)
+	e.Cache.Touch(table.Arena.Base(), table.Arena.Size())
+	run(e, 0, p.Warmup)
+	e.SetCharging(true)
+	e.ResetCycles()
+	hits := run(e, p.Warmup, p.Queries)
+
+	cycles := e.Cycles()
+	seconds := cycles / (p.Arch.Frequency(width) * 1e9)
+	m := Measurement{
+		Hits:               hits,
+		CyclesPerLookup:    cycles / float64(p.Queries),
+		LookupsPerSec:      float64(p.Queries) / seconds,
+		MemCyclesPerLookup: e.MemCycles() / float64(p.Queries),
+		OpCycles:           make(map[arch.OpClass]float64),
+	}
+	for op, cy := range e.OpCycles() {
+		m.OpCycles[op] = cy / float64(p.Queries)
+	}
+	if st, ok := e.Cache.LevelStats("L1D"); ok {
+		m.L1HitRate = st.HitRate()
+	}
+	m.DRAMPerLookup = float64(e.Cache.DRAMAccesses()) / float64(p.Queries)
+	return m
+}

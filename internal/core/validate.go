@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/cuckoo"
+)
+
+// EnumerateChoices is the SIMD algorithm validation engine (Fig. 4 ③): it
+// filters the cross-product of vectorization approaches and vector widths
+// down to the combinations supported by both the table layout and the CPU
+// architecture, using the HorV-Valid and VerV-Valid validators of
+// Algorithms 1 and 2.
+//
+// Horizontal choices are emitted for bucketized layouts at every width that
+// holds at least one whole bucket, with the maximum buckets-per-vector that
+// width allows. Vertical choices are emitted for non-bucketized layouts at
+// every gather-capable width. VerticalHybrid choices (vertical template over
+// a BCHT, Case Study ⑤) are emitted only when requested explicitly.
+func EnumerateChoices(m *arch.Model, l cuckoo.Layout, widths []int, approaches []Approach) []Choice {
+	if len(widths) == 0 {
+		widths = m.Widths
+	}
+	want := func(a Approach) bool {
+		if len(approaches) == 0 {
+			return a == Horizontal || a == Vertical
+		}
+		for _, x := range approaches {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Choice
+	for _, w := range widths {
+		if !m.Supports(w) {
+			continue
+		}
+		if l.Bucketized() && want(Horizontal) {
+			if ok, bpv := cuckoo.HorVValid(w, l); ok {
+				out = append(out, Choice{Approach: Horizontal, Width: w, BucketsPerVec: bpv})
+			}
+		}
+		if !l.Bucketized() && want(Vertical) {
+			if ok, kpi := cuckoo.VerVValid(w, l); ok {
+				out = append(out, Choice{Approach: Vertical, Width: w, KeysPerIter: kpi})
+			}
+		}
+		if l.Bucketized() && want(VerticalHybrid) {
+			nb := l
+			nb.M = 1
+			if ok, kpi := cuckoo.VerVValid(w, nb); ok {
+				out = append(out, Choice{Approach: VerticalHybrid, Width: w, KeysPerIter: kpi})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Approach != out[j].Approach {
+			return out[i].Approach < out[j].Approach
+		}
+		return out[i].Width < out[j].Width
+	})
+	return out
+}
+
+// LayoutChoices pairs a layout with its viable SIMD design choices, one row
+// of the validation engine's output.
+type LayoutChoices struct {
+	Layout  cuckoo.Layout
+	Choices []Choice
+}
+
+// ValidateGrid runs the validation engine over a grid of (N, m) variants
+// for fixed key/payload widths — the configuration of Listing 1. Layout
+// sizing uses tableBytes.
+func ValidateGrid(m *arch.Model, variants [][2]int, keyBits, valBits, tableBytes int, widths []int) ([]LayoutChoices, error) {
+	var out []LayoutChoices
+	for _, nm := range variants {
+		l, err := cuckoo.LayoutForBytes(nm[0], nm[1], keyBits, valBits, tableBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: variant (%d,%d): %w", nm[0], nm[1], err)
+		}
+		out = append(out, LayoutChoices{Layout: l, Choices: EnumerateChoices(m, l, widths, nil)})
+	}
+	return out, nil
+}
+
+// FormatListing renders validation-engine output in the style of the
+// paper's Listing 1.
+func FormatListing(m *arch.Model, keyBits, valBits int, widths []int, rows []LayoutChoices) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "*(k,v) = (%d, %d); 'w' =", keyBits, valBits)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " %d", w)
+	}
+	fmt.Fprintf(&b, "\n***** %s\n", m.Name)
+	for _, row := range rows {
+		fmt.Fprintf(&b, "*(%d,%d) ->", row.Layout.N, row.Layout.M)
+		if len(row.Choices) == 0 {
+			b.WriteString(" no viable SIMD design")
+		}
+		for i, c := range row.Choices {
+			if i == 0 {
+				fmt.Fprintf(&b, " %s,", c.Approach)
+			}
+			switch c.Approach {
+			case Horizontal:
+				fmt.Fprintf(&b, " Opts: %d bit - %d bucket/vec", c.Width, c.BucketsPerVec)
+			default:
+				fmt.Fprintf(&b, " Opts: %d bit - %d keys/it", c.Width, c.KeysPerIter)
+			}
+			if i != len(row.Choices)-1 {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

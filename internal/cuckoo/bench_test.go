@@ -1,0 +1,106 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"testing"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/mem"
+)
+
+// benchSetup builds a filled table plus query stream for lookup benchmarks.
+func benchSetup(b *testing.B, l Layout, nq int) (*Table, *Stream, *ResultBuf, *engine.Engine) {
+	b.Helper()
+	space := mem.NewAddressSpace()
+	t, err := New(space, l, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	keys, _ := t.FillRandom(0.9, rng)
+	queries := make([]uint64, nq)
+	for i := range queries {
+		queries[i] = keys[rng.Intn(len(keys))]
+	}
+	return t, NewStream(space, queries, l.KeyBits), NewResultBuf(space, nq, l.ValBits), engine.New(arch.SkylakeClusterA(), 1)
+}
+
+func BenchmarkNativeLookup(b *testing.B) {
+	l := Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12}
+	t, s, _, _ := benchSetup(b, l, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Lookup(s.Key(i & 1023)); !ok {
+			b.Fatal("stored key missing")
+		}
+	}
+}
+
+func BenchmarkNativeInsert(b *testing.B) {
+	l := Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 16}
+	space := mem.NewAddressSpace()
+	t, _ := New(space, l, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i)%uint64(l.Slots()) + 2
+		if err := t.Insert(key&^1, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChargedScalarLookup(b *testing.B) {
+	l := Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12}
+	t, s, res, e := benchSetup(b, l, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.LookupScalarBatch(e, s, 0, 1024, res, nil)
+	}
+	b.ReportMetric(float64(1024), "lookups/op")
+}
+
+func BenchmarkChargedHorizontalLookup(b *testing.B) {
+	l := Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12}
+	t, s, res, e := benchSetup(b, l, 1024)
+	cfg := HorizontalConfig{Width: 256, BucketsPerVec: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.LookupHorizontalBatch(e, s, 0, 1024, cfg, res, nil)
+	}
+	b.ReportMetric(float64(1024), "lookups/op")
+}
+
+func BenchmarkChargedVerticalLookup(b *testing.B) {
+	l := Layout{N: 3, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 13}
+	t, s, res, e := benchSetup(b, l, 1024)
+	cfg := VerticalConfig{Width: 512}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.LookupVerticalBatch(e, s, 0, 1024, cfg, res, nil)
+	}
+	b.ReportMetric(float64(1024), "lookups/op")
+}
+
+func BenchmarkChargedAMACLookup(b *testing.B) {
+	l := Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12}
+	t, s, res, e := benchSetup(b, l, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.LookupAMACBatch(e, s, 0, 1024, AMACConfig{}, res, nil)
+	}
+	b.ReportMetric(float64(1024), "lookups/op")
+}
+
+func BenchmarkFillToNinetyPercent(b *testing.B) {
+	l := Layout{N: 3, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 12}
+	for i := 0; i < b.N; i++ {
+		space := mem.NewAddressSpace()
+		t, _ := New(space, l, int64(i))
+		rng := rand.New(rand.NewSource(int64(i)))
+		_, lf := t.FillRandom(0.9, rng)
+		if lf < 0.89 {
+			b.Fatalf("fill stalled at %.2f", lf)
+		}
+	}
+}

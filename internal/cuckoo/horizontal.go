@@ -1,0 +1,192 @@
+package cuckoo
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/vec"
+)
+
+// HorVValid is the Horizontal-over-BCHT validator (Algorithm 1, function
+// HorV-Valid): it reports whether a bucketized layout can be probed
+// horizontally with vectors of `width` bits, and if so how many hash
+// buckets fit into one vector.
+//
+// For the default interleaved layout the whole bucket (keys and payloads)
+// must fit in the vector, exactly as the paper's validator requires. For a
+// split layout only the bucket's contiguous key block must fit — the
+// optimization networking designs use, which admits narrower vectors (a
+// (2,8) bucket of 16-bit keys probes in 128 bits).
+func HorVValid(width int, l Layout) (ok bool, bucketsPerVec int) {
+	if l.M <= 1 {
+		return false, 0
+	}
+	unit := (l.KeyBits + l.ValBits) * l.M
+	if l.Split {
+		unit = l.KeyBits * l.M
+	}
+	if width < unit {
+		return false, 0
+	}
+	bpv := width / unit
+	if bpv > l.N {
+		bpv = l.N
+	}
+	return true, bpv
+}
+
+// HorizontalConfig parameterizes the horizontal lookup: the vector width and
+// how many buckets are probed per vector (1 = optimistic one-bucket-at-a-
+// time probing; N = pessimistic load-all-candidates probing, Case Study ③).
+type HorizontalConfig struct {
+	Width         int
+	BucketsPerVec int
+}
+
+// LookupHorizontalBatch runs Algorithm 1 (horizontal SIMD vectorization)
+// over queries [from, from+n) of the stream: for each key, the candidate
+// bucket(s) are loaded whole into a vector, keys and payloads are separated
+// with shuffles, and a single packed compare probes all slots at once.
+// Results land in res; hit flags in found (may be nil). Returns hit count.
+//
+// Bucket-index computation is vectorized across keys (calc_N_hash_buckets
+// in the paper): the packed multiply-shift is charged once per vector-full
+// of upcoming keys, amortizing it the way the real implementation does.
+func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, cfg HorizontalConfig, res *ResultBuf, found []bool) int {
+	okCfg, maxBPV := HorVValid(cfg.Width, t.L)
+	if !okCfg {
+		panic(fmt.Sprintf("cuckoo: horizontal lookup invalid for %s at %d bits", t.L, cfg.Width))
+	}
+	bpv := cfg.BucketsPerVec
+	if bpv < 1 || bpv > maxBPV {
+		panic(fmt.Sprintf("cuckoo: buckets-per-vec %d out of range [1,%d]", bpv, maxBPV))
+	}
+
+	kb, vb := t.L.KeyBits, t.L.ValBits
+	// In the split layout only the contiguous key block is loaded per
+	// bucket; payloads are fetched with a scalar load after a match.
+	loadBytes := t.L.BucketBytes()
+	if t.L.Split {
+		loadBytes = t.L.keyBlockBytes()
+	}
+	hashLanes := cfg.Width / kb // keys whose buckets are computed per packed hash
+	groups := (t.L.N + bpv - 1) / bpv
+	hits := 0
+
+	for q := 0; q < n; q++ {
+		// Amortized vectorized bucket calculation for the next hashLanes keys.
+		if q%hashLanes == 0 {
+			for i := 0; i < t.L.N; i++ {
+				e.VecHash(cfg.Width)
+			}
+		}
+		key := e.StreamLoad(s.Arena, s.Off(from+q), s.Bits)
+		kvec := e.Set1(cfg.Width, kb, key)
+
+		matched := false
+		for g := 0; g < groups && !matched; g++ {
+			lo := g * bpv
+			hi := lo + bpv
+			if hi > t.L.N {
+				hi = t.L.N
+			}
+			// Assemble bpv buckets in one register; a short final group pads
+			// by re-loading its last bucket (harmless duplicate lanes).
+			offs := make([]int, 0, bpv)
+			buckets := make([]int, 0, bpv)
+			for j := lo; j < hi; j++ {
+				b := t.Bucket(j, key)
+				buckets = append(buckets, b)
+				offs = append(offs, t.L.keyOff(b, 0))
+			}
+			for len(offs) < bpv {
+				offs = append(offs, offs[len(offs)-1])
+				buckets = append(buckets, buckets[len(buckets)-1])
+			}
+			pad := cfg.Width/8 - bpv*loadBytes
+			bvec := t.loadBuckets(e, cfg.Width, offs, loadBytes, pad)
+
+			if !t.L.Split {
+				// vec_shuffle_and_blend: separate keys from payloads
+				// (unnecessary when the key block is already contiguous).
+				e.Shuffle(cfg.Width)
+				e.Shuffle(cfg.Width)
+			}
+			tk := t.extractKeys(cfg.Width, bvec, bpv, loadBytes)
+
+			match := e.CmpEq(kb, tk, kvec)
+			match &= vec.LaneMaskAll(bpv * t.L.M)
+			e.Movemask(cfg.Width)
+			e.Charge(arch.OpScalarBranch, arch.WidthScalar)
+			if lane := match.FirstSet(); lane >= 0 {
+				b := buckets[lane/t.L.M]
+				slot := lane % t.L.M
+				var v uint64
+				if t.L.Split {
+					// The payload block was not loaded: one scalar load.
+					v = e.ScalarLoad(t.Arena, t.L.valOff(b, slot), vb)
+				} else {
+					// vec_reduce: extract the matching payload lane.
+					e.Reduce(cfg.Width)
+					v = t.valAt(b, slot)
+				}
+				e.StreamStore(res.Arena, res.Off(from+q), vb, v)
+				matched = true
+			}
+		}
+		if found != nil {
+			found[q] = matched
+		}
+		if matched {
+			hits++
+		}
+	}
+	return hits
+}
+
+// loadBuckets performs vec_load_buckets: one unaligned load per bucket plus
+// insert shuffles to place them side by side in a register. pad is the
+// number of trailing register bytes not covered by buckets (when
+// bucketsPerVec*bucketBytes < width/8); they are left zero, matching a
+// masked load.
+func (t *Table) loadBuckets(e *engine.Engine, width int, offs []int, bucketBytes, pad int) vec.Vec {
+	buf := make([]byte, width/8)
+	for i, off := range offs {
+		e.Charge(arch.OpVecLoad, width)
+		if i > 0 {
+			e.Charge(arch.OpVecShuffle, width)
+		}
+		e.MemAccess(t.Arena.Addr(off), bucketBytes)
+		copy(buf[i*bucketBytes:], t.Arena.Bytes(off, bucketBytes))
+	}
+	_ = pad
+	return vec.FromBytes(width, buf)
+}
+
+// extractKeys builds the packed key vector t_k from a register holding bpv
+// loaded buckets (whole buckets when interleaved — the functional effect of
+// the charged shuffles — or key blocks when split). unitBytes is the bytes
+// loaded per bucket.
+func (t *Table) extractKeys(width int, bvec vec.Vec, bpv, unitBytes int) vec.Vec {
+	kb := t.L.KeyBits
+	stride := t.L.SlotBytes()
+	if t.L.Split {
+		stride = kb / 8
+	}
+	raw := bvec.ToBytes()
+	tk := vec.Zero(width)
+	lane := 0
+	for c := 0; c < bpv; c++ {
+		for s := 0; s < t.L.M; s++ {
+			off := c*unitBytes + s*stride
+			var k uint64
+			for b := 0; b < kb/8; b++ {
+				k |= uint64(raw[off+b]) << (8 * b)
+			}
+			tk = tk.WithLane(kb, lane, k)
+			lane++
+		}
+	}
+	return tk
+}

@@ -1,0 +1,57 @@
+package cuckoo
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/mem"
+)
+
+// Stream is a query key stream materialized in simulated memory, the p_k[n]
+// input of Algorithms 1 and 2. Charged lookups read keys from the stream
+// (and write payload results to a sibling result buffer) so that the
+// streaming traffic competes with the table for cache space exactly as it
+// did on the paper's hardware.
+type Stream struct {
+	Arena *mem.Arena
+	Bits  int // key width in bits
+	N     int // number of keys
+}
+
+// NewStream materializes keys (each keyBits wide) in the address space.
+func NewStream(space *mem.AddressSpace, keys []uint64, keyBits int) *Stream {
+	switch keyBits {
+	case 16, 32, 64:
+	default:
+		panic(fmt.Sprintf("cuckoo: unsupported stream key width %d", keyBits))
+	}
+	a := space.Alloc(len(keys) * keyBits / 8)
+	for i, k := range keys {
+		a.WriteUint(i*keyBits/8, keyBits, k)
+	}
+	return &Stream{Arena: a, Bits: keyBits, N: len(keys)}
+}
+
+// Key returns key i without charging.
+func (s *Stream) Key(i int) uint64 { return s.Arena.ReadUint(s.Off(i), s.Bits) }
+
+// Off returns the arena offset of key i.
+func (s *Stream) Off(i int) int { return i * s.Bits / 8 }
+
+// ResultBuf is the output vector V[1..n] of the lookup templates: one
+// payload slot per query, in simulated memory.
+type ResultBuf struct {
+	Arena *mem.Arena
+	Bits  int
+	N     int
+}
+
+// NewResultBuf allocates an n-entry result buffer of valBits-wide slots.
+func NewResultBuf(space *mem.AddressSpace, n, valBits int) *ResultBuf {
+	return &ResultBuf{Arena: space.Alloc(n * valBits / 8), Bits: valBits, N: n}
+}
+
+// Off returns the arena offset of result slot i.
+func (r *ResultBuf) Off(i int) int { return i * r.Bits / 8 }
+
+// Get returns result i without charging.
+func (r *ResultBuf) Get(i int) uint64 { return r.Arena.ReadUint(r.Off(i), r.Bits) }

@@ -1,0 +1,333 @@
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"simdhtbench/internal/hashfn"
+	"simdhtbench/internal/mem"
+)
+
+// ErrFull is returned by Insert when no cuckoo eviction path to an empty
+// slot can be found; the table has reached its maximum load factor.
+var ErrFull = errors.New("cuckoo: table full (no eviction path found)")
+
+// DefaultMaxBFSNodes bounds the breadth-first eviction-path search. 2048
+// expanded buckets is far beyond the depth needed at practical load factors;
+// hitting the bound means the table is effectively full.
+const DefaultMaxBFSNodes = 2048
+
+// Table is an (N,m) cuckoo hash table in simulated memory.
+//
+// Insertion uses breadth-first search over the eviction graph (the approach
+// of MemC3/libcuckoo) to find a shortest path of relocations to an empty
+// slot, which is what lets BCHT variants reach the >90% load factors of
+// Fig. 2. Lookups come in a native flavour (Lookup) and engine-charged
+// flavours in scalar.go / horizontal.go / vertical.go.
+//
+// A Table is not safe for concurrent mutation; the paper's workloads are
+// read-only after the load phase, and concurrent readers are safe.
+type Table struct {
+	L     Layout
+	Arena *mem.Arena
+
+	fam         *hashfn.Family
+	count       int
+	rng         *rand.Rand
+	maxBFSNodes int
+
+	// scratch buffers reused across operations
+	visited map[int]int
+
+	// Instrumentation for charged inserts: the relocations and BFS nodes
+	// of the most recent Insert that required eviction.
+	lastMoves    []move
+	lastBFSNodes int
+}
+
+// move records one relocation performed by the eviction machinery.
+type move struct {
+	fromBucket, fromSlot int
+	toBucket, toSlot     int
+}
+
+// New allocates a table with the given layout in the address space, with
+// deterministic hash functions derived from seed.
+func New(space *mem.AddressSpace, l Layout, seed int64) (*Table, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	// The arena carries one line of tail padding so vector-granularity
+	// reads of the final slots (e.g. a 32-bit gather of a 16-bit payload)
+	// stay in bounds — the same over-read padding real SIMD code allocates.
+	return &Table{
+		L:           l,
+		Arena:       space.Alloc(l.TableBytes() + mem.LineSize),
+		fam:         hashfn.NewFamily(l.N, l.KeyBits, l.BucketBits, seed),
+		rng:         rand.New(rand.NewSource(seed ^ 0x5eed)),
+		maxBFSNodes: DefaultMaxBFSNodes,
+		visited:     make(map[int]int),
+	}, nil
+}
+
+// Family exposes the table's hash-function family (the vectorized lookup
+// paths need the multipliers and shift to evaluate it per-lane).
+func (t *Table) Family() *hashfn.Family { return t.fam }
+
+// Count returns the number of stored items.
+func (t *Table) Count() int { return t.count }
+
+// LoadFactor returns count/slots.
+func (t *Table) LoadFactor() float64 {
+	return float64(t.count) / float64(t.L.Slots())
+}
+
+// Bucket returns hash function i applied to key.
+func (t *Table) Bucket(i int, key uint64) int {
+	return int(t.fam.Hash(i, key))
+}
+
+func (t *Table) keyAt(b, s int) uint64 {
+	return t.Arena.ReadUint(t.L.slotOff(b, s), t.L.KeyBits)
+}
+
+func (t *Table) valAt(b, s int) uint64 {
+	return t.Arena.ReadUint(t.L.valOff(b, s), t.L.ValBits)
+}
+
+func (t *Table) setSlot(b, s int, key, val uint64) {
+	t.Arena.WriteUint(t.L.slotOff(b, s), t.L.KeyBits, key)
+	t.Arena.WriteUint(t.L.valOff(b, s), t.L.ValBits, val)
+}
+
+// Lookup finds key and returns its payload. This is the native, uncharged
+// path used for functional correctness.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	for i := 0; i < t.L.N; i++ {
+		b := t.Bucket(i, key)
+		for s := 0; s < t.L.M; s++ {
+			if t.keyAt(b, s) == key {
+				return t.valAt(b, s), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert stores (key, val). Inserting an existing key updates its payload.
+// Returns ErrFull when no eviction path exists.
+func (t *Table) Insert(key, val uint64) error {
+	t.lastMoves = t.lastMoves[:0]
+	t.lastBFSNodes = 0
+	if key == 0 {
+		return errors.New("cuckoo: key 0 is the empty-slot sentinel")
+	}
+	if key&^t.L.KeyMask() != 0 {
+		return fmt.Errorf("cuckoo: key %#x exceeds %d bits", key, t.L.KeyBits)
+	}
+	if val&^t.L.ValMask() != 0 {
+		return fmt.Errorf("cuckoo: payload %#x exceeds %d bits", val, t.L.ValBits)
+	}
+
+	// Update in place, or take the first empty slot in a candidate bucket.
+	emptyB, emptyS := -1, -1
+	for i := 0; i < t.L.N; i++ {
+		b := t.Bucket(i, key)
+		for s := 0; s < t.L.M; s++ {
+			switch t.keyAt(b, s) {
+			case key:
+				t.setSlot(b, s, key, val)
+				return nil
+			case 0:
+				if emptyB < 0 {
+					emptyB, emptyS = b, s
+				}
+			}
+		}
+	}
+	if emptyB >= 0 {
+		t.setSlot(emptyB, emptyS, key, val)
+		t.count++
+		return nil
+	}
+
+	b, s, ok := t.bfsMakeRoom(key)
+	if !ok {
+		return ErrFull
+	}
+	t.setSlot(b, s, key, val)
+	t.count++
+	return nil
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	for i := 0; i < t.L.N; i++ {
+		b := t.Bucket(i, key)
+		for s := 0; s < t.L.M; s++ {
+			if t.keyAt(b, s) == key {
+				t.setSlot(b, s, 0, 0)
+				t.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathEntry is a node in the BFS over the eviction graph: reaching `bucket`
+// required evicting the key in slot `parentSlot` of the parent entry.
+type pathEntry struct {
+	bucket     int
+	parent     int // index into the BFS queue; -1 for roots
+	parentSlot int
+}
+
+// bfsMakeRoom finds a shortest eviction path from one of key's candidate
+// buckets to a bucket with an empty slot, performs the relocations, and
+// returns the freed (bucket, slot).
+func (t *Table) bfsMakeRoom(key uint64) (int, int, bool) {
+	queue := make([]pathEntry, 0, 64)
+	clear(t.visited)
+	for i := 0; i < t.L.N; i++ {
+		b := t.Bucket(i, key)
+		if _, seen := t.visited[b]; seen {
+			continue
+		}
+		t.visited[b] = len(queue)
+		queue = append(queue, pathEntry{bucket: b, parent: -1})
+	}
+
+	for idx := 0; idx < len(queue) && len(queue) < t.maxBFSNodes; idx++ {
+		t.lastBFSNodes++
+		e := queue[idx]
+		if s := t.emptySlot(e.bucket); s >= 0 {
+			return t.applyPath(queue, idx, s)
+		}
+		for s := 0; s < t.L.M; s++ {
+			k := t.keyAt(e.bucket, s)
+			if k == 0 {
+				continue // raced with nothing; defensive
+			}
+			for j := 0; j < t.L.N; j++ {
+				alt := t.Bucket(j, k)
+				if alt == e.bucket {
+					continue
+				}
+				if _, seen := t.visited[alt]; seen {
+					continue
+				}
+				t.visited[alt] = len(queue)
+				queue = append(queue, pathEntry{bucket: alt, parent: idx, parentSlot: s})
+				if len(queue) >= t.maxBFSNodes {
+					break
+				}
+			}
+		}
+	}
+
+	// Fallback sweep: any queued bucket may have gained an empty slot.
+	for idx, e := range queue {
+		if s := t.emptySlot(e.bucket); s >= 0 {
+			return t.applyPath(queue, idx, s)
+		}
+	}
+	return 0, 0, false
+}
+
+func (t *Table) emptySlot(b int) int {
+	for s := 0; s < t.L.M; s++ {
+		if t.keyAt(b, s) == 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+// applyPath relocates keys backwards along the BFS path ending at
+// queue[leaf] (whose bucket has empty slot `emptySlot`), and returns the
+// freed slot in the path's root bucket.
+func (t *Table) applyPath(queue []pathEntry, leaf, emptySlot int) (int, int, bool) {
+	e := queue[leaf]
+	freeB, freeS := e.bucket, emptySlot
+	for e.parent >= 0 {
+		p := queue[e.parent]
+		k := t.keyAt(p.bucket, e.parentSlot)
+		v := t.valAt(p.bucket, e.parentSlot)
+		// The key moving into freeB must indeed hash there.
+		if !t.hashesTo(k, freeB) {
+			panic(fmt.Sprintf("cuckoo: BFS path corrupt: key %#x does not hash to bucket %d", k, freeB))
+		}
+		t.setSlot(freeB, freeS, k, v)
+		t.lastMoves = append(t.lastMoves, move{fromBucket: p.bucket, fromSlot: e.parentSlot, toBucket: freeB, toSlot: freeS})
+		freeB, freeS = p.bucket, e.parentSlot
+		e = p
+	}
+	t.setSlot(freeB, freeS, 0, 0)
+	return freeB, freeS, true
+}
+
+func (t *Table) hashesTo(key uint64, bucket int) bool {
+	for i := 0; i < t.L.N; i++ {
+		if t.Bucket(i, key) == bucket {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach visits every stored (key, value) pair.
+func (t *Table) ForEach(fn func(key, val uint64)) {
+	for b := 0; b < t.L.Buckets(); b++ {
+		for s := 0; s < t.L.M; s++ {
+			if k := t.keyAt(b, s); k != 0 {
+				fn(k, t.valAt(b, s))
+			}
+		}
+	}
+}
+
+// FillRandom inserts random distinct keys until the table holds
+// floor(lf*slots) items or an insert fails; it returns the inserted keys and
+// the achieved load factor. Payload of key k is mixed from k so tests can
+// verify lookups. The Fig. 2 experiment calls it with lf=1 to probe the
+// layout's maximum achievable load factor.
+func (t *Table) FillRandom(lf float64, rng *rand.Rand) ([]uint64, float64) {
+	target := int(lf * float64(t.L.Slots()))
+	keys := make([]uint64, 0, target)
+	seen := make(map[uint64]struct{}, target)
+	for t.count < target {
+		key := (rng.Uint64() & t.L.KeyMask()) &^ 1 // even keys; odd = guaranteed misses
+		if key == 0 {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			// Exhausted keyspace check: tiny 16-bit tables can run out.
+			if len(seen) >= int(t.L.KeyMask()/2) {
+				break
+			}
+			continue
+		}
+		seen[key] = struct{}{}
+		if err := t.Insert(key, PayloadFor(key, t.L.ValBits)); err != nil {
+			break
+		}
+		keys = append(keys, key)
+	}
+	return keys, t.LoadFactor()
+}
+
+// PayloadFor derives the deterministic payload stored for key in tests and
+// fills, truncated to valBits.
+func PayloadFor(key uint64, valBits int) uint64 {
+	v := key*0x9e3779b97f4a7c15 + 1
+	if valBits == 64 {
+		return v
+	}
+	v &= (1 << valBits) - 1
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,116 @@
+package cuckoomap
+
+import (
+	"sync"
+	"testing"
+)
+
+// The native benchmarks compare the recommended (2,4) cuckoo layout against
+// Go's built-in map and sync.Map on read-dominated workloads — real
+// wall-clock numbers, not simulated cycles.
+
+const benchN = 1 << 16
+
+func buildCuckoo() *Map[uint64, uint64] {
+	m := New[uint64, uint64](u64Hash, benchN)
+	for i := uint64(0); i < benchN; i++ {
+		m.Put(i, i)
+	}
+	return m
+}
+
+func BenchmarkCuckooGet(b *testing.B) {
+	m := buildCuckoo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Get(uint64(i) & (benchN - 1)); !ok {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkBuiltinMapGet(b *testing.B) {
+	m := make(map[uint64]uint64, benchN)
+	for i := uint64(0); i < benchN; i++ {
+		m[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m[uint64(i)&(benchN-1)]; !ok {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkSyncMapGet(b *testing.B) {
+	var m sync.Map
+	for i := uint64(0); i < benchN; i++ {
+		m.Store(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Load(uint64(i) & (benchN - 1)); !ok {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkCuckooPut(b *testing.B) {
+	m := New[uint64, uint64](u64Hash, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkBuiltinMapPut(b *testing.B) {
+	m := make(map[uint64]uint64, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m[uint64(i)] = uint64(i)
+	}
+}
+
+func BenchmarkCuckooGetMiss(b *testing.B) {
+	m := buildCuckoo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Get(uint64(i) + benchN*2); ok {
+			b.Fatal("phantom hit")
+		}
+	}
+}
+
+func BenchmarkShardedGetParallel(b *testing.B) {
+	s := NewSharded[uint64, uint64](u64Hash, 16, benchN)
+	for i := uint64(0); i < benchN; i++ {
+		s.Put(i, i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			if _, ok := s.Get(i & (benchN - 1)); !ok {
+				b.Fatal("missing")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkSyncMapGetParallel(b *testing.B) {
+	var m sync.Map
+	for i := uint64(0); i < benchN; i++ {
+		m.Store(i, i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			if _, ok := m.Load(i & (benchN - 1)); !ok {
+				b.Fatal("missing")
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,325 @@
+package cuckoomap
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// u64Hash is a splitmix64-style hash for test keys.
+func u64Hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newU64Map(hint int) *Map[uint64, int] {
+	return New[uint64, int](u64Hash, hint)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	m := newU64Map(0)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i, int(i*3))
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, ok := m.Get(i)
+		if !ok || v != int(i*3) {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := m.Get(99999); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	m := newU64Map(0)
+	m.Put(7, 1)
+	m.Put(7, 2)
+	if m.Len() != 1 {
+		t.Errorf("Len after replace = %d", m.Len())
+	}
+	if v, _ := m.Get(7); v != 2 {
+		t.Errorf("replaced value = %d", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := newU64Map(0)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	if !m.Delete(1) {
+		t.Error("delete existing failed")
+	}
+	if m.Delete(1) {
+		t.Error("double delete succeeded")
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("deleted key found")
+	}
+	if v, ok := m.Get(2); !ok || v != 20 {
+		t.Error("delete disturbed neighbor")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestGrowthKeepsAllEntries(t *testing.T) {
+	m := newU64Map(0) // starts tiny: forced to grow repeatedly
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, int(i))
+	}
+	if m.Grows() == 0 {
+		t.Fatal("map never grew")
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i += 97 {
+		if v, ok := m.Get(i); !ok || v != int(i) {
+			t.Fatalf("post-growth Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if lf := m.LoadFactor(); lf > 1.0 || lf <= 0 {
+		t.Errorf("load factor %v out of range", lf)
+	}
+}
+
+func TestCapacityHintAvoidsGrowth(t *testing.T) {
+	m := newU64Map(100000)
+	for i := uint64(0); i < 100000; i++ {
+		m.Put(i, 0)
+	}
+	if m.Grows() > 1 {
+		t.Errorf("map grew %d times despite capacity hint", m.Grows())
+	}
+}
+
+func TestRangeVisitsExactlyAllEntries(t *testing.T) {
+	m := newU64Map(0)
+	want := map[uint64]int{}
+	for i := uint64(0); i < 5000; i++ {
+		m.Put(i, int(i)+1)
+		want[i] = int(i) + 1
+	}
+	got := map[uint64]int{}
+	m.Range(func(k uint64, v int) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d value %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := newU64Map(0)
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, 0)
+	}
+	visits := 0
+	m.Range(func(uint64, int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("early stop visited %d", visits)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	seed := maphash.MakeSeed()
+	m := New[string, string](func(s string) uint64 {
+		return maphash.String(seed, s)
+	}, 0)
+	for i := 0; i < 2000; i++ {
+		m.Put(fmt.Sprintf("key-%06d", i), fmt.Sprintf("val-%d", i))
+	}
+	for i := 0; i < 2000; i += 13 {
+		v, ok := m.Get(fmt.Sprintf("key-%06d", i))
+		if !ok || v != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("string key %d mismatch", i)
+		}
+	}
+}
+
+// TestMatchesBuiltinMapProperty drives the cuckoo map and a builtin map with
+// the same random operation stream and asserts identical observable state.
+func TestMatchesBuiltinMapProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := newU64Map(0)
+		ref := map[uint64]int{}
+		for op := 0; op < 3000; op++ {
+			k := uint64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				m.Put(k, v)
+				ref[k] = v
+			case 2:
+				gotDel := m.Delete(k)
+				_, want := ref[k]
+				if gotDel != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHighOccupancyBeforeGrowth(t *testing.T) {
+	// The (2,4) layout should pack well past 80% before a grow triggers.
+	m := newU64Map(0)
+	lastGrows := 0
+	worstLF := 1.0
+	for i := uint64(0); i < 200000; i++ {
+		m.Put(i, 0)
+		if m.Grows() != lastGrows {
+			// Load factor immediately before the growth (approximately the
+			// achieved occupancy of the previous size).
+			lf := float64(m.Len()) / float64(m.Buckets()/2*slotsPerBucket)
+			if lf < worstLF {
+				worstLF = lf
+			}
+			lastGrows = m.Grows()
+		}
+	}
+	if worstLF < 0.8 {
+		t.Errorf("grew at %.2f occupancy; (2,4) cuckoo should pack past 0.8", worstLF)
+	}
+}
+
+func TestNilHashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil hash accepted")
+		}
+	}()
+	New[int, int](nil, 0)
+}
+
+func TestZeroValueKeysAndValues(t *testing.T) {
+	m := newU64Map(0)
+	m.Put(0, 0)
+	if v, ok := m.Get(0); !ok || v != 0 {
+		t.Error("zero key/value must round-trip")
+	}
+	if !m.Delete(0) {
+		t.Error("zero key delete failed")
+	}
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded[uint64, int](u64Hash, 8, 1000)
+	if s.Shards() != 8 {
+		t.Errorf("shards = %d", s.Shards())
+	}
+	for i := uint64(0); i < 5000; i++ {
+		s.Put(i, int(i))
+	}
+	if s.Len() != 5000 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	for i := uint64(0); i < 5000; i += 7 {
+		if v, ok := s.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if !s.Delete(42) || s.Delete(42) {
+		t.Error("delete semantics wrong")
+	}
+	seen := 0
+	s.Range(func(uint64, int) bool { seen++; return true })
+	if seen != 4999 {
+		t.Errorf("Range visited %d", seen)
+	}
+}
+
+func TestShardedRoundsUpShardCount(t *testing.T) {
+	s := NewSharded[uint64, int](u64Hash, 5, 0)
+	if s.Shards() != 8 {
+		t.Errorf("shards = %d, want 8", s.Shards())
+	}
+	one := NewSharded[uint64, int](u64Hash, 0, 0)
+	if one.Shards() != 1 {
+		t.Errorf("min shards = %d", one.Shards())
+	}
+	one.Put(1, 2)
+	if v, ok := one.Get(1); !ok || v != 2 {
+		t.Error("single-shard map broken")
+	}
+}
+
+func TestShardedConcurrentAccess(t *testing.T) {
+	s := NewSharded[uint64, uint64](u64Hash, 16, 10000)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 4000
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(g) * perG
+			for i := uint64(0); i < perG; i++ {
+				s.Put(base+i, base+i)
+			}
+			for i := uint64(0); i < perG; i++ {
+				if v, ok := s.Get(base + i); !ok || v != base+i {
+					t.Errorf("goroutine %d: Get(%d) = (%d,%v)", g, base+i, v, ok)
+					return
+				}
+			}
+			for i := uint64(0); i < perG; i += 2 {
+				s.Delete(base + i)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != goroutines*perG/2 {
+		t.Errorf("Len after concurrent churn = %d, want %d", s.Len(), goroutines*perG/2)
+	}
+}
+
+func TestShardedString(t *testing.T) {
+	s := NewSharded[uint64, int](u64Hash, 2, 0)
+	s.Put(1, 1)
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}

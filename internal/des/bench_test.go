@@ -1,0 +1,24 @@
+package des
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 100; j++ {
+			s.After(float64(j), func() {})
+		}
+		s.Run()
+	}
+	b.ReportMetric(100, "events/op")
+}
+
+func BenchmarkResourceChurn(b *testing.B) {
+	s := New()
+	r := NewResource(s, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(func() { s.After(1, r.Release) })
+		s.Run()
+	}
+}

@@ -1,0 +1,184 @@
+// Package des is a small discrete-event simulator with a virtual clock.
+//
+// The key-value-store validation (Section VI) measures end-to-end Multi-Get
+// latency across a client node, an InfiniBand-EDR-class fabric, and a
+// multi-worker server. Those experiments need queueing behaviour — workers
+// busy, NICs serializing, clients in closed loops — under a deterministic
+// virtual clock, which is exactly what this package provides: an event heap
+// (Sim), FIFO resources with capacity (Resource), and nothing else.
+//
+// All times are float64 seconds of virtual time.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sim is the event scheduler. The zero value is not usable; call New.
+type Sim struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// New returns an empty simulation at time 0.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run at absolute virtual time t (>= Now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%g < %g)", t, s.now))
+	}
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn to run delay seconds from now.
+func (s *Sim) After(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", delay))
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Step runs the next event; it reports whether one existed.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains the event queue.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then advances the clock
+// to t.
+func (s *Sim) RunUntil(t float64) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Resource is a FIFO-queued resource with fixed capacity (e.g. a pool of
+// server worker threads). Acquire either grants immediately or queues; the
+// holder must call Release exactly once.
+type Resource struct {
+	sim   *Sim
+	cap   int
+	inUse int
+	queue []func()
+
+	// Stats.
+	grants    uint64
+	queuedCum uint64
+	busyTime  float64
+	lastTick  float64
+}
+
+// NewResource creates a resource with the given capacity on sim.
+func NewResource(sim *Sim, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("des: resource capacity %d", capacity))
+	}
+	return &Resource{sim: sim, cap: capacity}
+}
+
+// Acquire requests a unit; fn runs (via the event queue) once granted.
+func (r *Resource) Acquire(fn func()) {
+	if r.inUse < r.cap {
+		r.accounting()
+		r.inUse++
+		r.grants++
+		r.sim.After(0, fn)
+		return
+	}
+	r.queuedCum++
+	r.queue = append(r.queue, fn)
+}
+
+// Release returns a unit and grants the longest-waiting request, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("des: Release without Acquire")
+	}
+	r.accounting()
+	r.inUse--
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inUse++
+		r.grants++
+		r.sim.After(0, next)
+	}
+}
+
+func (r *Resource) accounting() {
+	r.busyTime += float64(r.inUse) * (r.sim.Now() - r.lastTick)
+	r.lastTick = r.sim.Now()
+}
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Grants returns how many acquisitions have been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// EverQueued returns how many acquisitions had to wait.
+func (r *Resource) EverQueued() uint64 { return r.queuedCum }
+
+// Utilization returns average busy units divided by capacity since t=0.
+func (r *Resource) Utilization() float64 {
+	r.accounting()
+	if r.sim.Now() == 0 {
+		return 0
+	}
+	return r.busyTime / (r.sim.Now() * float64(r.cap))
+}

@@ -1,0 +1,199 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3.0, func() { order = append(order, 3) })
+	s.At(1.0, func() { order = append(order, 1) })
+	s.At(2.0, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3.0 {
+		t.Errorf("final time = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at float64
+	s.At(5.0, func() {
+		s.After(2.5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 7.5 {
+		t.Errorf("After fired at %v, want 7.5", at)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth++; depth < 100 {
+			s.After(1, recurse)
+		}
+	}
+	s.After(0, recurse)
+	s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d", depth)
+	}
+	if s.Now() != 99 {
+		t.Errorf("final time = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(2, func() { fired++ })
+	s.At(3, func() { fired++ })
+	s.RunUntil(2)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if s.Now() != 2 {
+		t.Errorf("Now = %v, want 2", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past should panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	s := New()
+	r := NewResource(s, 2)
+	granted := 0
+	r.Acquire(func() { granted++ })
+	r.Acquire(func() { granted++ })
+	s.Run()
+	if granted != 2 {
+		t.Errorf("granted = %d", granted)
+	}
+	if r.InUse() != 2 {
+		t.Errorf("in use = %d", r.InUse())
+	}
+}
+
+func TestResourceQueuesBeyondCapacity(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var events []string
+	r.Acquire(func() {
+		events = append(events, "first")
+		s.After(10, func() { r.Release() })
+	})
+	r.Acquire(func() {
+		events = append(events, "second")
+		r.Release()
+	})
+	s.Run()
+	if len(events) != 2 || events[0] != "first" || events[1] != "second" {
+		t.Errorf("events = %v", events)
+	}
+	if r.EverQueued() != 1 {
+		t.Errorf("queued = %d", r.EverQueued())
+	}
+	if r.InUse() != 0 {
+		t.Errorf("in use after drain = %d", r.InUse())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var order []int
+	r.Acquire(func() { s.After(1, r.Release) })
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Acquire(func() {
+			order = append(order, i)
+			s.After(1, r.Release)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("queue not FIFO: %v", order)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.Acquire(func() {
+		s.After(5, r.Release)
+	})
+	s.At(10, func() {}) // extend the horizon to 10s
+	s.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release without Acquire should panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity resource should panic")
+		}
+	}()
+	NewResource(New(), 0)
+}

@@ -1,0 +1,393 @@
+// Package engine provides the charged execution engine that all measured
+// lookup algorithms run on.
+//
+// An Engine combines an architecture model (internal/arch), a simulated
+// cache hierarchy (internal/cache) and the software SIMD register file
+// (internal/vec). Algorithms written against the engine execute functionally
+// — they really load table bytes, compare lanes and produce results — while
+// every operation is charged cycles from the architecture's cost table and
+// every memory access is charged through the cache simulator. Dividing the
+// accumulated cycles by the licensed clock frequency yields the simulated
+// wall time that all throughput figures in this repository report.
+//
+// The engine tracks the widest vector width used during a run, because
+// Skylake-generation CPUs clock down under wide-vector ("heavy AVX-512")
+// code; the time conversion applies the corresponding license frequency.
+package engine
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/cache"
+	"simdhtbench/internal/mem"
+	"simdhtbench/internal/vec"
+)
+
+// Engine executes and charges simulated scalar and vector operations.
+type Engine struct {
+	Arch  *arch.Model
+	Cache *cache.Hierarchy
+
+	cycles   float64
+	ops      uint64
+	maxWidth int
+	cores    int
+	charging bool
+
+	// Breakdown: cycles by op class, plus memory cycles (cache/DRAM).
+	opCycles  map[arch.OpClass]float64
+	memCycles float64
+}
+
+// New builds an engine for the given architecture, running in
+// full-subscription mode with `cores` active cores (which sets the
+// memory-bandwidth contention penalty). cores <= 1 means an uncontended run.
+func New(m *arch.Model, cores int) *Engine {
+	cfgs := make([]cache.Config, len(m.Caches))
+	for i, c := range m.Caches {
+		cfgs[i] = cache.Config{Name: c.Name, Size: c.Size, Assoc: c.Assoc, Latency: c.Latency}
+	}
+	h := cache.New(m.DRAMLatency, cfgs...)
+	h.DRAMPenalty = m.DRAMPenalty(cores)
+	return &Engine{
+		Arch: m, Cache: h, cores: cores, maxWidth: arch.WidthScalar, charging: true,
+		opCycles: make(map[arch.OpClass]float64),
+	}
+}
+
+// Cores returns the full-subscription core count the engine models.
+func (e *Engine) Cores() int { return e.cores }
+
+// Cycles returns the cycles accumulated since the last reset.
+func (e *Engine) Cycles() float64 { return e.cycles }
+
+// Ops returns the number of charged operations since the last reset.
+func (e *Engine) Ops() uint64 { return e.ops }
+
+// MaxWidth returns the widest vector width (bits) charged since construction.
+func (e *Engine) MaxWidth() int { return e.maxWidth }
+
+// Seconds converts accumulated cycles to simulated seconds at the clock
+// frequency licensed by the widest vector width used.
+func (e *Engine) Seconds() float64 {
+	return e.cycles / (e.Arch.Frequency(e.maxWidth) * 1e9)
+}
+
+// SecondsAt converts accumulated cycles to seconds at the license frequency
+// for an explicit width, useful when comparing a scalar baseline measured on
+// the same engine.
+func (e *Engine) SecondsAt(width int) float64 {
+	return e.cycles / (e.Arch.Frequency(width) * 1e9)
+}
+
+// ResetCycles clears the cycle and op counters but keeps cache contents, so
+// a measured phase can follow a warm-up phase.
+func (e *Engine) ResetCycles() {
+	e.cycles = 0
+	e.ops = 0
+	e.memCycles = 0
+	clear(e.opCycles)
+	e.Cache.ResetStats()
+}
+
+// ResetAll clears counters and cache contents.
+func (e *Engine) ResetAll() {
+	e.cycles = 0
+	e.ops = 0
+	e.memCycles = 0
+	clear(e.opCycles)
+	e.maxWidth = arch.WidthScalar
+	e.Cache.Reset()
+}
+
+// SetCharging toggles cost accounting. Algorithms still execute functionally
+// while charging is off; warm-up passes use this.
+func (e *Engine) SetCharging(on bool) { e.charging = on }
+
+// Charge adds the cost of one op of the given class and vector width.
+func (e *Engine) Charge(c arch.OpClass, width int) {
+	if width > e.maxWidth {
+		e.maxWidth = width
+	}
+	if !e.charging {
+		return
+	}
+	cost := e.Arch.Cost(c, width)
+	e.cycles += cost
+	e.opCycles[c] += cost
+	e.ops++
+}
+
+// MemCycles returns the cycles spent in cache/DRAM accesses since reset.
+func (e *Engine) MemCycles() float64 { return e.memCycles }
+
+// OpCycles returns the per-op-class cycle breakdown since reset.
+func (e *Engine) OpCycles() map[arch.OpClass]float64 {
+	out := make(map[arch.OpClass]float64, len(e.opCycles))
+	for k, v := range e.opCycles {
+		out[k] = v
+	}
+	return out
+}
+
+// ChargeCycles adds a raw cycle amount (used for modeled fixed costs such as
+// key parsing in the KVS pipeline).
+func (e *Engine) ChargeCycles(cy float64) {
+	if !e.charging {
+		return
+	}
+	e.cycles += cy
+}
+
+// chargeMem charges a memory access through the cache hierarchy.
+func (e *Engine) chargeMem(addr uint64, size int) {
+	if !e.charging {
+		e.Cache.Touch(addr, size)
+		return
+	}
+	cy := e.Cache.Access(addr, size)
+	e.cycles += cy
+	e.memCycles += cy
+}
+
+// MemAccess charges an access to [addr, addr+size) without transferring
+// data. The KVS pipeline uses it to charge item-header touches.
+func (e *Engine) MemAccess(addr uint64, size int) {
+	e.chargeMem(addr, size)
+}
+
+// Warm installs [addr, addr+size) into the caches without charging — the
+// warm-up primitive used to establish steady state before measurement.
+func (e *Engine) Warm(addr uint64, size int) {
+	e.Cache.Touch(addr, size)
+}
+
+// OverlappedAccess charges an access whose latency overlaps with independent
+// neighbours — e.g. the full-key verifications of a Multi-Get batch, where
+// the out-of-order window runs many independent item loads concurrently. As
+// with gathers, the uncontended latency is scaled by the architecture's
+// overlap factor while bandwidth-contention excess is charged in full.
+func (e *Engine) OverlappedAccess(addr uint64, size int) {
+	if !e.charging {
+		e.Cache.Touch(addr, size)
+		return
+	}
+	first := mem.LineOf(addr)
+	n := mem.LinesTouched(addr, size)
+	for i := 0; i < n; i++ {
+		total, excess := e.Cache.AccessLineDetail(first + uint64(i)*mem.LineSize)
+		cy := (total-excess)*e.Arch.GatherOverlap + excess
+		e.cycles += cy
+		e.memCycles += cy
+	}
+}
+
+// --- Sequential-stream operations -------------------------------------------
+//
+// The query stream p_k[n] and result vector V[n] are read/written strictly
+// sequentially, which modern hardware prefetchers fully hide: the line is in
+// L1 by the time it is needed. Stream operations therefore charge the issue
+// cost plus an L1 access, while still installing the lines in the simulated
+// hierarchy so the streams compete with the table for cache capacity.
+
+// StreamLoad reads a bits-wide value from a sequentially-accessed stream.
+func (e *Engine) StreamLoad(a *mem.Arena, off, bits int) uint64 {
+	e.Charge(arch.OpScalarLoadOp, arch.WidthScalar)
+	e.chargeStream(a.Addr(off), bits/8)
+	return a.ReadUint(off, bits)
+}
+
+// StreamStore writes a bits-wide value to a sequentially-accessed stream.
+func (e *Engine) StreamStore(a *mem.Arena, off, bits int, v uint64) {
+	e.Charge(arch.OpScalarStoreOp, arch.WidthScalar)
+	e.chargeStream(a.Addr(off), bits/8)
+	a.WriteUint(off, bits, v)
+}
+
+// StreamAccess charges a sequential access of size bytes at addr (used for
+// vector-width stream loads/stores whose issue cost the caller charges).
+func (e *Engine) StreamAccess(addr uint64, size int) {
+	e.chargeStream(addr, size)
+}
+
+// streamAccessCycles is the effective cost of one prefetched, pipelined
+// stream access: the prefetcher has the line in L1 and back-to-back L1 loads
+// retire at pipeline throughput, not load-to-use latency.
+const streamAccessCycles = 1.0
+
+func (e *Engine) chargeStream(addr uint64, size int) {
+	e.Cache.Touch(addr, size)
+	if !e.charging {
+		return
+	}
+	e.cycles += streamAccessCycles
+	e.memCycles += streamAccessCycles
+}
+
+// --- Scalar operations -----------------------------------------------------
+
+// ScalarLoad loads a bits-wide unsigned value at off in the arena, charging
+// the load issue plus the cache access.
+func (e *Engine) ScalarLoad(a *mem.Arena, off, bits int) uint64 {
+	e.Charge(arch.OpScalarLoadOp, arch.WidthScalar)
+	e.chargeMem(a.Addr(off), bits/8)
+	return a.ReadUint(off, bits)
+}
+
+// ScalarStore stores a bits-wide value at off, charging issue plus cache.
+func (e *Engine) ScalarStore(a *mem.Arena, off, bits int, v uint64) {
+	e.Charge(arch.OpScalarStoreOp, arch.WidthScalar)
+	e.chargeMem(a.Addr(off), bits/8)
+	a.WriteUint(off, bits, v)
+}
+
+// ScalarHash charges the multiply-shift hash sequence (mul + shift) and is
+// paired with hashfn evaluation done by the caller.
+func (e *Engine) ScalarHash() {
+	e.Charge(arch.OpScalarMul, arch.WidthScalar)
+	e.Charge(arch.OpScalarALU, arch.WidthScalar)
+}
+
+// ScalarCompare charges a compare-and-branch pair.
+func (e *Engine) ScalarCompare() {
+	e.Charge(arch.OpScalarCmp, arch.WidthScalar)
+	e.Charge(arch.OpScalarBranch, arch.WidthScalar)
+}
+
+// --- Vector operations ------------------------------------------------------
+
+// Set1 broadcasts a value to all lanes (vec_set_lanes in Algorithm 1).
+func (e *Engine) Set1(bits, laneBits int, val uint64) vec.Vec {
+	e.Charge(arch.OpVecSet1, bits)
+	return vec.Set1(bits, laneBits, val)
+}
+
+// VecLoad performs an unaligned vector load of bits/8 bytes at off.
+func (e *Engine) VecLoad(bits int, a *mem.Arena, off int) vec.Vec {
+	e.Charge(arch.OpVecLoad, bits)
+	e.chargeMem(a.Addr(off), bits/8)
+	return vec.FromBytes(bits, a.Bytes(off, bits/8))
+}
+
+// VecLoadParts assembles a register from several non-contiguous spans (the
+// vinsert sequence used to place two hash buckets in one vector, Fig. 3a).
+// Each part is charged as a load plus, beyond the first, an insert shuffle.
+func (e *Engine) VecLoadParts(bits int, a *mem.Arena, offs []int, partBytes int) vec.Vec {
+	if len(offs)*partBytes != bits/8 {
+		panic(fmt.Sprintf("engine: %d parts of %d bytes cannot fill %d bits", len(offs), partBytes, bits))
+	}
+	buf := make([]byte, bits/8)
+	for i, off := range offs {
+		e.Charge(arch.OpVecLoad, bits)
+		if i > 0 {
+			e.Charge(arch.OpVecShuffle, bits)
+		}
+		e.chargeMem(a.Addr(off), partBytes)
+		copy(buf[i*partBytes:], a.Bytes(off, partBytes))
+	}
+	return vec.FromBytes(bits, buf)
+}
+
+// VecStore stores the register to off.
+func (e *Engine) VecStore(a *mem.Arena, off int, v vec.Vec) {
+	e.Charge(arch.OpVecStore, v.Bits())
+	e.chargeMem(a.Addr(off), v.Bytes())
+	copy(a.Bytes(off, v.Bytes()), v.ToBytes())
+}
+
+// CmpEq charges and performs a packed compare.
+func (e *Engine) CmpEq(laneBits int, a, b vec.Vec) vec.Mask {
+	e.Charge(arch.OpVecCmp, a.Bits())
+	return vec.CmpEq(laneBits, a, b)
+}
+
+// Blend charges and performs a masked blend.
+func (e *Engine) Blend(laneBits int, m vec.Mask, a, b vec.Vec) vec.Vec {
+	e.Charge(arch.OpVecBlend, a.Bits())
+	return vec.Blend(laneBits, m, a, b)
+}
+
+// Shuffle charges one shuffle/permute op (data movement done by caller).
+func (e *Engine) Shuffle(bits int) {
+	e.Charge(arch.OpVecShuffle, bits)
+}
+
+// Movemask charges a mask-extraction op.
+func (e *Engine) Movemask(bits int) {
+	e.Charge(arch.OpVecMovemask, bits)
+}
+
+// Reduce charges the horizontal reduction that extracts the matching payload
+// from a match mask (vec_reduce in Algorithm 1).
+func (e *Engine) Reduce(bits int) {
+	e.Charge(arch.OpVecReduce, bits)
+}
+
+// VecHash charges the vectorized multiply-shift hash (vec_calc_hash in
+// Algorithm 2): packed multiply, packed shift, packed and.
+func (e *Engine) VecHash(bits int) {
+	e.Charge(arch.OpVecMul, bits)
+	e.Charge(arch.OpVecShift, bits)
+	e.Charge(arch.OpVecAnd, bits)
+}
+
+// Gather performs a masked gather: for every lane i with mask bit set, lane
+// i of the result is the laneBits-wide value at arena offset offs[i]. It
+// charges the gather issue cost, a per-active-lane cost, and one cache
+// access per *distinct* cache line touched — the property behind
+// Observation ② (wider keys touch more lines per gathered batch).
+func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask) vec.Vec {
+	lanes := vec.NumLanes(bits, laneBits)
+	if len(offs) != lanes {
+		panic(fmt.Sprintf("engine: gather got %d offsets for %d lanes", len(offs), lanes))
+	}
+	if laneBits > e.Arch.GatherMaxLaneBits {
+		panic(fmt.Sprintf("engine: %s gathers support at most %d-bit lanes, got %d",
+			e.Arch.Name, e.Arch.GatherMaxLaneBits, laneBits))
+	}
+	e.Charge(arch.OpVecGather, bits)
+	out := vec.Zero(bits)
+	seen := make(map[uint64]struct{}, lanes)
+	for i := 0; i < lanes; i++ {
+		if !m.Test(i) {
+			continue
+		}
+		e.Charge(arch.OpVecGatherLn, bits)
+		addr := a.Addr(offs[i])
+		for _, line := range touchedLines(addr, laneBits/8) {
+			if _, ok := seen[line]; !ok {
+				seen[line] = struct{}{}
+				e.chargeGatherLine(line)
+			}
+		}
+		out = out.WithLane(laneBits, i, a.ReadUint(offs[i], laneBits))
+	}
+	return out
+}
+
+// chargeGatherLine charges one gathered cache line with memory-level
+// parallelism applied: the uncontended latency is scaled by the
+// architecture's GatherOverlap (lane fetches of one gather overlap), while
+// the contention excess — DRAM-bandwidth saturation under full subscription
+// — is charged in full, since MLP cannot hide a saturated bus.
+func (e *Engine) chargeGatherLine(line uint64) {
+	if !e.charging {
+		e.Cache.Touch(line, 1)
+		return
+	}
+	total, excess := e.Cache.AccessLineDetail(line)
+	cy := (total-excess)*e.Arch.GatherOverlap + excess
+	e.cycles += cy
+	e.memCycles += cy
+}
+
+func touchedLines(addr uint64, size int) []uint64 {
+	n := mem.LinesTouched(addr, size)
+	lines := make([]uint64, n)
+	first := mem.LineOf(addr)
+	for i := range lines {
+		lines[i] = first + uint64(i*mem.LineSize)
+	}
+	return lines
+}

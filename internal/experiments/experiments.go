@@ -1,0 +1,190 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section V and VI). Each runner executes the
+// corresponding SimdHT-Bench configuration and returns report tables, so
+// the command-line harnesses (cmd/simdhtbench, cmd/kvsbench), the Go
+// benchmarks (bench_test.go) and the tests all share the same experiment
+// definitions.
+//
+// The per-experiment index in DESIGN.md maps every runner here to its
+// paper counterpart; EXPERIMENTS.md records paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/core"
+	"simdhtbench/internal/report"
+	"simdhtbench/internal/workload"
+)
+
+// Options trims experiment size for quick runs; zero values pick the
+// defaults used in EXPERIMENTS.md.
+type Options struct {
+	Queries int   // measured queries per configuration (default 6000)
+	Seed    int64 // base seed (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Queries <= 0 {
+		o.Queries = 6000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table1 reproduces Table I: the registry of state-of-the-art CPU-optimized
+// cuckoo hash-table designs.
+func Table1() *report.Table {
+	t := report.NewTable("Table I: state-of-the-art CPU-optimized cuckoo hash table variants",
+		"Research Work", "Memory Layout (m x (K,V))", "N-way", "SIMD-aware Design", "Notes")
+	for _, e := range core.Registry() {
+		t.AddRow(e.Name,
+			fmt.Sprintf("%d x (%d B, %d B)", e.SlotsPerBkt, e.KeyBytes, e.ValBytes),
+			fmt.Sprintf("%d-way", e.NWay), e.SIMD, e.Note)
+	}
+	return t
+}
+
+// Fig2 reproduces Fig. 2: maximum achievable load factor per (N, m) cuckoo
+// variant, measured by inserting to failure.
+func Fig2(o Options) (*report.Table, error) {
+	o = o.withDefaults()
+	points, err := core.LoadFactorStudy(core.Fig2Variants(), 10, 3, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Fig. 2: max load factor vs N-way hashing vs BCHT (measured, 3 trials)",
+		"Variant", "Kind", "Max LF", "")
+	for _, p := range points {
+		kind := "N-way (non-bucketized)"
+		if p.Bucketized {
+			kind = "BCHT"
+		}
+		t.AddRow(fmt.Sprintf("(%d,%d)", p.N, p.M), kind,
+			fmt.Sprintf("%.3f", p.MaxLF), report.Bar(p.MaxLF, 1.0, 40))
+	}
+	return t, nil
+}
+
+// Listing1 reproduces Listing 1: the validation engine's design-choice
+// output for (k,v) = (32,32) at widths 128/256/512 on Skylake.
+func Listing1() (string, error) {
+	m := arch.SkylakeClusterA()
+	variants := [][2]int{{2, 1}, {3, 1}, {4, 1}, {2, 2}, {2, 4}, {2, 8}, {3, 2}, {3, 4}, {3, 8}}
+	rows, err := core.ValidateGrid(m, variants, 32, 32, 1<<20, m.Widths)
+	if err != nil {
+		return "", err
+	}
+	return core.FormatListing(m, 32, 32, m.Widths, rows), nil
+}
+
+// grid runs the Fig. 5 (N, m) grid for one access pattern and appends rows.
+func grid(t *report.Table, m *arch.Model, pattern workload.Pattern, tableBytes int, o Options) error {
+	for _, nm := range [][2]int{{2, 1}, {3, 1}, {4, 1}, {2, 2}, {2, 4}, {2, 8}, {3, 2}, {3, 4}, {3, 8}} {
+		r, err := core.Run(core.Params{
+			Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
+			TableBytes: tableBytes, LoadFactor: 0.9, HitRate: 0.9,
+			Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		best, ok := r.Best()
+		bestStr, speedStr := "-", "-"
+		if ok {
+			bestStr = fmt.Sprintf("%s %.1f M/s", best.Choice, best.LookupsPerSec/1e6)
+			speedStr = fmt.Sprintf("%.2fx", r.Speedup(best))
+		}
+		t.AddRow(fmt.Sprintf("(%d,%d)", nm[0], nm[1]), pattern.String(),
+			fmt.Sprintf("%.2f", r.AchievedLF),
+			fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+			bestStr, speedStr)
+	}
+	return nil
+}
+
+// Fig5 reproduces Case Study ①(a): horizontal vs vertical SIMD approaches
+// over the (N, m) grid, 1 MB HT, (32,32), LF=90%, hit rate 90%, uniform and
+// skewed, on Skylake Cluster A.
+func Fig5(o Options) (*report.Table, error) {
+	o = o.withDefaults()
+	m := arch.SkylakeClusterA()
+	t := report.NewTable("Fig. 5 / Case Study 1a: SIMD approaches on Skylake, 1MB HT, (32,32)b, LF=90%, hit=90%",
+		"(N,m)", "Pattern", "LF", "Scalar M/s", "Best SIMD", "Speedup")
+	for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
+		if err := grid(t, m, p, 1<<20, o); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Case Study ①(b): lookup performance and SIMD benefit as
+// the hash-table size sweeps 256 KB → 64 MB (uniform pattern).
+func Fig6(o Options) (*report.Table, error) {
+	o = o.withDefaults()
+	m := arch.SkylakeClusterA()
+	t := report.NewTable("Fig. 6 / Case Study 1b: HT size sweep on Skylake, uniform, LF=90%, hit=90%",
+		"HT Size", "Layout", "Scalar M/s", "Best SIMD", "Speedup")
+	for _, sz := range []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20} {
+		for _, nm := range [][2]int{{2, 4}, {3, 1}} {
+			r, err := core.Run(core.Params{
+				Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
+				TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
+				Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			best, _ := r.Best()
+			t.AddRow(sizeLabel(sz), fmt.Sprintf("(%d,%d)", nm[0], nm[1]),
+				fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+				fmt.Sprintf("%s %.1f M/s", best.Choice, best.LookupsPerSec/1e6),
+				fmt.Sprintf("%.2fx", r.Speedup(best)))
+		}
+	}
+	return t, nil
+}
+
+func sizeLabel(sz int) string {
+	if sz >= 1<<20 {
+		return fmt.Sprintf("%d MB", sz>>20)
+	}
+	return fmt.Sprintf("%d KB", sz>>10)
+}
+
+// Fig5Grid renders Case Study ①(a) in the paper's bubble-grid arrangement:
+// slots-per-bucket rows against N-way columns, each cell carrying the best
+// SIMD throughput and its speedup over scalar for the given pattern.
+func Fig5Grid(pattern workload.Pattern, o Options) (*report.Grid, error) {
+	o = o.withDefaults()
+	m := arch.SkylakeClusterA()
+	g := report.NewGrid(
+		fmt.Sprintf("Fig. 5 grid (%s): best SIMD M lookups/s (speedup); blue=N-way row m=1, yellow=BCHT", pattern),
+		"slots/bkt", "N=2", "N=3", "N=4")
+	for _, mm := range []int{1, 2, 4, 8} {
+		for _, n := range []int{2, 3, 4} {
+			if mm > 1 && n == 4 {
+				continue // the paper's grid stops BCHT at N=3
+			}
+			r, err := core.Run(core.Params{
+				Arch: m, N: n, M: mm, KeyBits: 32, ValBits: 32,
+				TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
+				Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			best, ok := r.Best()
+			cell := "no SIMD fit"
+			if ok {
+				cell = fmt.Sprintf("%.0f M/s (%.2fx)", best.LookupsPerSec/1e6, r.Speedup(best))
+			}
+			g.Set(fmt.Sprintf("m=%d", mm), fmt.Sprintf("N=%d", n), cell)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"simdhtbench/internal/workload"
+)
+
+// Small options keep the full-suite test run fast; the shapes asserted here
+// are the coarse ones that must hold even at reduced query counts.
+var testOpts = Options{Queries: 800, Seed: 1}
+var testKVS = KVSOptions{Items: 40000, Requests: 400, Batches: []int{16}, Seed: 7}
+
+func TestTable1(t *testing.T) {
+	tab := Table1()
+	if tab.Rows() != 8 {
+		t.Errorf("Table I rows = %d, want 8", tab.Rows())
+	}
+}
+
+func TestFig2ShapeHolds(t *testing.T) {
+	tab, err := Fig2(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 12 {
+		t.Errorf("Fig2 rows = %d, want 12", tab.Rows())
+	}
+}
+
+func TestListing1MatchesPaper(t *testing.T) {
+	s, err := Listing1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the lines the paper prints.
+	for _, want := range []string{
+		"*(2,1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it",
+		"*(2,4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec",
+		"*(2,8) -> V-Hor, Opts: 512 bit - 1 bucket/vec",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Listing 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	tab, err := Fig5(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 variants x 2 patterns.
+	if tab.Rows() != 18 {
+		t.Errorf("Fig5 rows = %d, want 18", tab.Rows())
+	}
+}
+
+func TestFig6SpeedupDecays(t *testing.T) {
+	tab, err := Fig6(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 10 {
+		t.Fatalf("Fig6 rows = %d, want 10", tab.Rows())
+	}
+}
+
+func TestFig7aRuns(t *testing.T) {
+	tab, err := Fig7a(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 8 {
+		t.Errorf("Fig7a rows = %d, want 8", tab.Rows())
+	}
+}
+
+func TestFig7bRuns(t *testing.T) {
+	tab, err := Fig7b(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 8 {
+		t.Errorf("Fig7b rows = %d, want 8", tab.Rows())
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	tab, err := Fig8(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 16 {
+		t.Errorf("Fig8 rows = %d, want 16", tab.Rows())
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	tab, err := Fig9(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Errorf("Fig9 rows = %d, want 4", tab.Rows())
+	}
+}
+
+func TestRunKVSBackends(t *testing.T) {
+	var lookupThr [3]float64
+	for i, backend := range KVSBackends() {
+		res, err := RunKVS(backend, 16, testKVS)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.HitRate < 0.999 {
+			t.Errorf("%s hit rate %.3f, want 1.0", backend, res.HitRate)
+		}
+		lookupThr[i] = 16 / res.Breakdown.Lookup
+	}
+	// The paper's headline: both SIMD backends beat MemC3 on lookup-phase
+	// throughput (Fig. 11a).
+	if lookupThr[1] <= lookupThr[0] || lookupThr[2] <= lookupThr[0] {
+		t.Errorf("SIMD lookup throughput must exceed MemC3: %v", lookupThr)
+	}
+}
+
+func TestRunKVSUnknownBackend(t *testing.T) {
+	if _, err := RunKVS("nope", 16, testKVS); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestFig11aTable(t *testing.T) {
+	tab, err := Fig11a(testKVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Errorf("Fig11a rows = %d, want 3 (one batch x three backends)", tab.Rows())
+	}
+}
+
+func TestFig11bTable(t *testing.T) {
+	tab, err := Fig11b(testKVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Errorf("Fig11b rows = %d, want 3", tab.Rows())
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if sizeLabel(256<<10) != "256 KB" {
+		t.Error(sizeLabel(256 << 10))
+	}
+	if sizeLabel(16<<20) != "16 MB" {
+		t.Error(sizeLabel(16 << 20))
+	}
+	if _, err := strconv.Atoi(strings.Fields(sizeLabel(1 << 20))[0]); err != nil {
+		t.Error("size label should lead with a number")
+	}
+}
+
+func TestSplitBucketStudy(t *testing.T) {
+	tab, err := SplitBucket(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 6 {
+		t.Errorf("SplitBucket rows = %d, want 6", tab.Rows())
+	}
+}
+
+func TestMixedWorkloadStudy(t *testing.T) {
+	tab, err := MixedWorkload(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 5 {
+		t.Errorf("MixedWorkload rows = %d, want 5", tab.Rows())
+	}
+}
+
+func TestAMACStudy(t *testing.T) {
+	tab, err := AMACStudy(Options{Queries: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Errorf("AMACStudy rows = %d, want 3", tab.Rows())
+	}
+}
+
+func TestEmergingArchitectures(t *testing.T) {
+	tab, err := EmergingArchitectures(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Errorf("EmergingArchitectures rows = %d, want 4", tab.Rows())
+	}
+}
+
+func TestETCStudy(t *testing.T) {
+	tab, err := ETCStudy(testKVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Errorf("ETCStudy rows = %d, want 3", tab.Rows())
+	}
+}
+
+func TestClusterStudy(t *testing.T) {
+	tab, err := ClusterStudy(KVSOptions{Items: 20000, Requests: 200, Batches: []int{16}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 {
+		t.Errorf("ClusterStudy rows = %d, want 3 (1/2/4 servers)", tab.Rows())
+	}
+}
+
+func TestFig5GridShape(t *testing.T) {
+	g, err := Fig5Grid(workload.Uniform, Options{Queries: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	g.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"m=1", "m=8", "N=2", "N=4", "M/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid missing %q", want)
+		}
+	}
+}

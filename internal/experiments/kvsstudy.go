@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/des"
+	"simdhtbench/internal/kvs"
+	"simdhtbench/internal/mem"
+	"simdhtbench/internal/memslap"
+	"simdhtbench/internal/netsim"
+	"simdhtbench/internal/report"
+)
+
+// KVSOptions sizes the Section VI key-value-store validation. Zero values
+// pick a laptop-scale default; the paper's configuration is 2M items, 26
+// workers/clients on Cluster B with 20 B keys and 32 B values.
+type KVSOptions struct {
+	Items    int   // stored items (default 200k; paper 2M)
+	Workers  int   // server worker threads (default 26)
+	Clients  int   // memslap client threads (default 26)
+	Requests int   // measured Multi-Gets per configuration (default 3000)
+	Batches  []int // Multi-Get sizes (default 16, 64)
+	Seed     int64
+}
+
+func (o KVSOptions) withDefaults() KVSOptions {
+	if o.Items <= 0 {
+		o.Items = 200000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 26
+	}
+	if o.Clients <= 0 {
+		o.Clients = 26
+	}
+	if o.Requests <= 0 {
+		o.Requests = 3000
+	}
+	if len(o.Batches) == 0 {
+		o.Batches = []int{16, 64}
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// KVSBackends returns the three backends of Fig. 11 in paper order.
+func KVSBackends() []string {
+	return []string{"memc3", "horizontal", "vertical"}
+}
+
+// RunKVS executes one memslap Multi-Get run against a freshly built server
+// with the named backend ("memc3", "horizontal", "vertical").
+func RunKVS(backend string, batch int, o KVSOptions) (memslap.Results, error) {
+	return runKVSWith(backend, batch, o, false)
+}
+
+// runKVSWith optionally loads Facebook-ETC item sizes instead of the fixed
+// memslap 20 B/32 B items.
+func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Results, error) {
+	o = o.withDefaults()
+	sim := des.New()
+	fabric := netsim.New(sim, netsim.EDR())
+	space := mem.NewAddressSpace()
+	store := kvs.NewItemStore(space)
+
+	var index kvs.Index
+	var err error
+	maxBatch := batch
+	if maxBatch < 128 {
+		maxBatch = 128
+	}
+	switch backend {
+	case "memc3":
+		index = kvs.NewMemC3Index(space, o.Items, o.Seed)
+	case "horizontal":
+		index, err = kvs.NewHorizontalIndex(space, o.Items, maxBatch, o.Seed)
+	case "vertical":
+		index, err = kvs.NewVerticalIndex(space, o.Items, maxBatch, o.Seed)
+	default:
+		return memslap.Results{}, fmt.Errorf("experiments: unknown KVS backend %q", backend)
+	}
+	if err != nil {
+		return memslap.Results{}, err
+	}
+
+	srv := kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, maxBatch, index, store)
+	var keys [][]byte
+	if etc {
+		keys, err = memslap.LoadETC(srv, o.Items, o.Seed)
+	} else {
+		keys, err = memslap.LoadKeys(srv, o.Items, 20, 32)
+	}
+	if err != nil {
+		return memslap.Results{}, err
+	}
+	keyBytes := 20
+	if etc {
+		keyBytes = 0 // variable-size keys
+	}
+	return memslap.Run(sim, fabric, srv, keys, memslap.Config{
+		Clients:   o.Clients,
+		BatchSize: batch,
+		Requests:  o.Requests,
+		KeyBytes:  keyBytes,
+		Seed:      o.Seed,
+	})
+}
+
+// Fig11a reproduces Fig. 11a: end-to-end Multi-Get latency and server-side
+// Get throughput (throughput of the hash-table-lookup phase, as the paper
+// measures it) for MemC3 vs the two SIMD-aware backends.
+func Fig11a(o KVSOptions) (*report.Table, error) {
+	o = o.withDefaults()
+	t := report.NewTable("Fig. 11a: RDMA-Memcached Multi-Get — end-to-end latency & server-side Get throughput",
+		"Batch", "Backend", "E2E avg (us)", "E2E p99 (us)", "Server Get thr (M/s)", "Thr vs MemC3", "Lat gain vs MemC3")
+	for _, batch := range o.Batches {
+		var baseThr, baseLat float64
+		for _, backend := range KVSBackends() {
+			res, err := RunKVS(backend, batch, o)
+			if err != nil {
+				return nil, err
+			}
+			lookupThr := float64(batch) / res.Breakdown.Lookup
+			if backend == "memc3" {
+				baseThr, baseLat = lookupThr, res.AvgLatency
+			}
+			t.AddRow(batch, res.Backend,
+				fmt.Sprintf("%.1f", res.AvgLatency*1e6),
+				fmt.Sprintf("%.1f", res.P99Latency*1e6),
+				fmt.Sprintf("%.1f", lookupThr/1e6),
+				fmt.Sprintf("%.2fx", lookupThr/baseThr),
+				fmt.Sprintf("%.0f%%", (1-res.AvgLatency/baseLat)*100))
+		}
+	}
+	return t, nil
+}
+
+// Fig11b reproduces Fig. 11b: the server-side timewise breakdown per
+// Multi-Get request — pre-processing, hash-table lookup and post-processing
+// sub-phases of the server data access phase.
+func Fig11b(o KVSOptions) (*report.Table, error) {
+	o = o.withDefaults()
+	t := report.NewTable("Fig. 11b: server-side per-batch phase breakdown",
+		"Batch", "Backend", "Pre (us)", "Lookup (us)", "Post (us)", "Data access (us)", "vs MemC3")
+	for _, batch := range o.Batches {
+		var base float64
+		for _, backend := range KVSBackends() {
+			res, err := RunKVS(backend, batch, o)
+			if err != nil {
+				return nil, err
+			}
+			total := res.Breakdown.Total()
+			if backend == "memc3" {
+				base = total
+			}
+			t.AddRow(batch, res.Backend,
+				fmt.Sprintf("%.2f", res.Breakdown.Pre*1e6),
+				fmt.Sprintf("%.2f", res.Breakdown.Lookup*1e6),
+				fmt.Sprintf("%.2f", res.Breakdown.Post*1e6),
+				fmt.Sprintf("%.2f", total*1e6),
+				fmt.Sprintf("%.0f%%", total/base*100))
+		}
+	}
+	return t, nil
+}
+
+// ETCStudy runs the Multi-Get comparison with Facebook-ETC item sizes
+// (variable keys in the tens of bytes, heavy-tailed values) instead of the
+// fixed 20 B/32 B memslap configuration — the workload the paper's
+// introduction motivates with. Larger, variable values shift time from the
+// lookup phase into response assembly, so the SIMD edge shrinks relative to
+// Fig. 11; the study quantifies by how much.
+func ETCStudy(o KVSOptions) (*report.Table, error) {
+	o = o.withDefaults()
+	t := report.NewTable("Extension: Multi-Get with Facebook-ETC item sizes",
+		"Batch", "Backend", "E2E avg (us)", "Server Get thr (M/s)", "Thr vs MemC3")
+	for _, batch := range o.Batches {
+		var base float64
+		for _, backend := range KVSBackends() {
+			res, err := runKVSWith(backend, batch, o, true)
+			if err != nil {
+				return nil, err
+			}
+			lookupThr := float64(batch) / res.Breakdown.Lookup
+			if backend == "memc3" {
+				base = lookupThr
+			}
+			t.AddRow(batch, res.Backend,
+				fmt.Sprintf("%.1f", res.AvgLatency*1e6),
+				fmt.Sprintf("%.1f", lookupThr/1e6),
+				fmt.Sprintf("%.2fx", lookupThr/base))
+		}
+	}
+	return t, nil
+}
+
+// ClusterStudy scales the Section VI pipeline across a server cluster with
+// client-side consistent hashing (the request phase of Section VI-A):
+// Multi-Gets split into per-server sub-batches, and end-to-end latency is
+// the fan-out maximum. More servers raise aggregate throughput but shrink
+// per-server sub-batches, eroding the batching that makes SIMD lookups and
+// network transfers efficient — the classic multiget-hole trade-off.
+func ClusterStudy(o KVSOptions) (*report.Table, error) {
+	o = o.withDefaults()
+	t := report.NewTable("Extension: Multi-Get across a consistent-hashing cluster (vertical AVX-512 backend)",
+		"Servers", "Batch", "Agg. thr (Mkeys/s)", "E2E avg (us)", "E2E p99 (us)", "Avg fanout")
+	for _, nservers := range []int{1, 2, 4} {
+		for _, batch := range o.Batches {
+			sim := des.New()
+			fabric := netsim.New(sim, netsim.EDR())
+			ring, err := kvs.NewRing(nservers, 0)
+			if err != nil {
+				return nil, err
+			}
+			servers := make([]*kvs.Server, nservers)
+			for i := range servers {
+				space := mem.NewAddressSpace()
+				store := kvs.NewItemStore(space)
+				idx, err := kvs.NewVerticalIndex(space, o.Items/nservers+o.Items/4, 256, o.Seed+int64(i))
+				if err != nil {
+					return nil, err
+				}
+				servers[i] = kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, 256, idx, store)
+			}
+			keys, err := memslap.LoadCluster(servers, ring, o.Items, 20, 32)
+			if err != nil {
+				return nil, err
+			}
+			res, err := memslap.RunCluster(sim, fabric, servers, ring, keys, memslap.Config{
+				Clients:   o.Clients,
+				BatchSize: batch,
+				Requests:  o.Requests,
+				KeyBytes:  20,
+				Seed:      o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(nservers, batch,
+				fmt.Sprintf("%.1f", res.ThroughputKeys/1e6),
+				fmt.Sprintf("%.1f", res.AvgLatency*1e6),
+				fmt.Sprintf("%.1f", res.P99Latency*1e6),
+				fmt.Sprintf("%.2f", res.AvgFanout))
+		}
+	}
+	return t, nil
+}

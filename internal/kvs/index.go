@@ -1,0 +1,248 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+
+	"simdhtbench/internal/cuckoo"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/hashfn"
+	"simdhtbench/internal/mem"
+)
+
+// memcmpCyclesPerByte approximates a tuned memcmp's per-byte cost; the key
+// verification step also charges the item's header+key cache lines.
+const memcmpCyclesPerByte = 0.25
+
+// Index is a pluggable hash-table backend for the KVS server. An index maps
+// a 32-bit key hash to an item reference; LookupBatch resolves a Multi-Get
+// batch, charging all work (probing and full-key verification) to the
+// worker's engine.
+type Index interface {
+	// Name identifies the backend in reports, e.g. "MemC3".
+	Name() string
+	// Insert maps hash32 → ref (uncharged; the paper's workloads are
+	// loaded before measurement).
+	Insert(hash32 uint32, ref uint32) error
+	// LookupBatch resolves each key: refs[i] = item ref or NoRef. Keys and
+	// their 32-bit hashes arrive pre-parsed (the pre-processing phase).
+	// Returns the number of hits.
+	LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int
+	// TableBytes reports the index's memory footprint.
+	TableBytes() int
+	// Width returns the widest vector width the lookups use (for frequency
+	// licensing); scalar backends return 64.
+	Width() int
+	// Warm installs the index's memory in the engine's caches (steady
+	// state for a long-running server).
+	Warm(e *engine.Engine)
+	// Delete removes the mapping for (hash32, key), verifying against the
+	// item's stored key where the index is lossy. Reports whether an entry
+	// was removed (used by LRU capacity eviction).
+	Delete(store *ItemStore, hash32 uint32, key []byte) bool
+}
+
+// verifyKey charges and performs the full-key verification at the item: the
+// item header+key lines are touched and a memcmp of the key bytes runs.
+// This is the "non-SIMD key matching step" of Section VI-B.
+func verifyKey(e *engine.Engine, store *ItemStore, ref uint32, key []byte) bool {
+	it := store.Get(ref)
+	if it == nil {
+		return false
+	}
+	e.OverlappedAccess(it.addr, itemHeaderBytes+len(key))
+	e.ChargeCycles(memcmpCyclesPerByte * float64(len(key)))
+	return bytes.Equal(it.Key, key)
+}
+
+// simdIndex is the shared machinery of the two SIMD-aware backends: a
+// 32-bit-key cuckoo table whose payload indexes the item table, plus scratch
+// stream/result buffers reused across batches.
+type simdIndex struct {
+	table    *cuckoo.Table
+	scratch  *cuckoo.Stream
+	results  *cuckoo.ResultBuf
+	found    []bool
+	maxBatch int
+}
+
+func newSIMDIndex(space *mem.AddressSpace, layout cuckoo.Layout, maxBatch int, seed int64) (*simdIndex, error) {
+	t, err := cuckoo.New(space, layout, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &simdIndex{
+		table:    t,
+		scratch:  cuckoo.NewStream(space, make([]uint64, maxBatch), 32),
+		results:  cuckoo.NewResultBuf(space, maxBatch, 32),
+		found:    make([]bool, maxBatch),
+		maxBatch: maxBatch,
+	}, nil
+}
+
+func (x *simdIndex) warm(e *engine.Engine) {
+	e.Cache.Touch(x.table.Arena.Base(), x.table.Arena.Size())
+}
+
+func (x *simdIndex) delete(hash32 uint32) bool {
+	key := uint64(hash32)
+	if key == 0 {
+		key = 1
+	}
+	return x.table.Delete(key)
+}
+
+func (x *simdIndex) insert(hash32, ref uint32) error {
+	key := uint64(hash32)
+	if key == 0 {
+		key = 1 // 0 is the empty-slot sentinel; remap (verification disambiguates)
+	}
+	if _, exists := x.table.Lookup(key); exists {
+		return fmt.Errorf("kvs: 32-bit hash collision on %#x; the loader must deduplicate hashes", hash32)
+	}
+	return x.table.Insert(key, uint64(ref))
+}
+
+// stage writes the batch's hashes into the scratch stream (the parsed
+// output of pre-processing); the write itself is part of the pre-process
+// phase, so it is uncharged here.
+func (x *simdIndex) stage(hashes []uint32) {
+	if len(hashes) > x.maxBatch {
+		panic(fmt.Sprintf("kvs: batch of %d exceeds index scratch %d", len(hashes), x.maxBatch))
+	}
+	for i, h := range hashes {
+		k := uint64(h)
+		if k == 0 {
+			k = 1
+		}
+		x.scratch.Arena.WriteUint(x.scratch.Off(i), 32, k)
+	}
+}
+
+func (x *simdIndex) collect(e *engine.Engine, store *ItemStore, keys [][]byte, refs []uint32) int {
+	hits := 0
+	for i := range keys {
+		refs[i] = NoRef
+		if !x.found[i] {
+			continue
+		}
+		ref := uint32(x.results.Get(i))
+		if verifyKey(e, store, ref, keys[i]) {
+			refs[i] = ref
+			hits++
+		}
+	}
+	return hits
+}
+
+// HorizontalIndex is the "Bucket-Cuckoo-Hor(AVX-256)" backend: a (2,4) BCHT
+// with 32-bit key hashes and 32-bit payloads, probed with the horizontal
+// AVX2 lookup of Algorithm 1.
+type HorizontalIndex struct {
+	*simdIndex
+	cfg cuckoo.HorizontalConfig
+}
+
+// NewHorizontalIndex sizes the index for at least `capacity` items at 90%
+// load factor.
+func NewHorizontalIndex(space *mem.AddressSpace, capacity, maxBatch int, seed int64) (*HorizontalIndex, error) {
+	layout := sizeLayout(2, 4, capacity)
+	x, err := newSIMDIndex(space, layout, maxBatch, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &HorizontalIndex{
+		simdIndex: x,
+		cfg:       cuckoo.HorizontalConfig{Width: 256, BucketsPerVec: 1},
+	}, nil
+}
+
+// Name implements Index.
+func (x *HorizontalIndex) Name() string { return "Bucket-Cuckoo-Hor(AVX-256)" }
+
+// Width implements Index.
+func (x *HorizontalIndex) Width() int { return 256 }
+
+// TableBytes implements Index.
+func (x *HorizontalIndex) TableBytes() int { return x.table.L.TableBytes() }
+
+// Insert implements Index.
+func (x *HorizontalIndex) Insert(hash32, ref uint32) error { return x.insert(hash32, ref) }
+
+// Warm implements Index.
+func (x *HorizontalIndex) Warm(e *engine.Engine) { x.warm(e) }
+
+// Delete implements Index. SIMD indexes store unique 32-bit hashes, so the
+// key argument needs no verification.
+func (x *HorizontalIndex) Delete(_ *ItemStore, hash32 uint32, _ []byte) bool {
+	return x.delete(hash32)
+}
+
+// LookupBatch implements Index.
+func (x *HorizontalIndex) LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int {
+	x.stage(hashes)
+	x.table.LookupHorizontalBatch(e, x.scratch, 0, len(hashes), x.cfg, x.results, x.found)
+	return x.collect(e, store, keys, refs)
+}
+
+// VerticalIndex is the "Cuckoo-Ver(AVX-512)" backend: a 3-way non-bucketized
+// cuckoo HT with 32-bit key hashes and 32-bit payloads, probed with the
+// vertical AVX-512 batch lookup of Algorithm 2.
+type VerticalIndex struct {
+	*simdIndex
+	cfg cuckoo.VerticalConfig
+}
+
+// NewVerticalIndex sizes the index for at least `capacity` items at 90%
+// load factor.
+func NewVerticalIndex(space *mem.AddressSpace, capacity, maxBatch int, seed int64) (*VerticalIndex, error) {
+	layout := sizeLayout(3, 1, capacity)
+	x, err := newSIMDIndex(space, layout, maxBatch, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &VerticalIndex{simdIndex: x, cfg: cuckoo.VerticalConfig{Width: 512}}, nil
+}
+
+// Name implements Index.
+func (x *VerticalIndex) Name() string { return "Cuckoo-Ver(AVX-512)" }
+
+// Width implements Index.
+func (x *VerticalIndex) Width() int { return 512 }
+
+// TableBytes implements Index.
+func (x *VerticalIndex) TableBytes() int { return x.table.L.TableBytes() }
+
+// Insert implements Index.
+func (x *VerticalIndex) Insert(hash32, ref uint32) error { return x.insert(hash32, ref) }
+
+// Warm implements Index.
+func (x *VerticalIndex) Warm(e *engine.Engine) { x.warm(e) }
+
+// Delete implements Index.
+func (x *VerticalIndex) Delete(_ *ItemStore, hash32 uint32, _ []byte) bool {
+	return x.delete(hash32)
+}
+
+// LookupBatch implements Index.
+func (x *VerticalIndex) LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int {
+	x.stage(hashes)
+	x.table.LookupVerticalBatch(e, x.scratch, 0, len(hashes), x.cfg, x.results, x.found)
+	return x.collect(e, store, keys, refs)
+}
+
+// sizeLayout picks the smallest power-of-two bucket count whose slot count
+// holds `capacity` items below 90% occupancy.
+func sizeLayout(n, m, capacity int) cuckoo.Layout {
+	l := cuckoo.Layout{N: n, M: m, KeyBits: 32, ValBits: 32, BucketBits: 4}
+	for l.BucketBits < 31 && float64(capacity) > 0.9*float64(l.Slots()) {
+		l.BucketBits++
+	}
+	return l
+}
+
+// Hash32 derives the 32-bit HT key from a full key's bytes, as the server's
+// pre-processing phase does.
+func Hash32(key []byte) uint32 {
+	return hashfn.Mix64to32(hashfn.HashBytes(key))
+}

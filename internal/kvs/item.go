@@ -1,0 +1,265 @@
+// Package kvs implements the in-memory key-value store of Section VI: a
+// Memcached-like server with slab-allocated items, LRU metadata, and a
+// pluggable hash-table index. Three index backends are provided, matching
+// the paper's comparison:
+//
+//   - MemC3Index — the CPU-optimized non-SIMD baseline: a (2,4) bucketized
+//     cuckoo hash table with 8-bit tags and 64-bit item pointers (MemC3).
+//   - HorizontalIndex — (2,4) BCHT over 32-bit key hashes with the
+//     horizontal AVX2 lookup ("Bucket-Cuckoo-Hor(AVX-256)").
+//   - VerticalIndex — 3-way cuckoo HT over 32-bit key hashes with the
+//     vertical AVX-512 batch lookup ("Cuckoo-Ver(AVX-512)").
+//
+// As in the paper, the SIMD indexes store a 32-bit payload that indexes a
+// shared array of item references, and every index hit is verified against
+// the client-supplied key string at the item (the non-SIMD key-matching
+// step whose cost makes the horizontal and vertical designs perform alike
+// end-to-end).
+package kvs
+
+import (
+	"errors"
+	"fmt"
+
+	"simdhtbench/internal/mem"
+)
+
+// NoRef is the sentinel "not found" item reference.
+const NoRef = ^uint32(0)
+
+// itemHeaderBytes approximates the per-item metadata (LRU links, sizes,
+// flags, CAS) that Memcached keeps in front of the key/value bytes; it is
+// charged when an item is touched.
+const itemHeaderBytes = 48
+
+// Item is a stored key-value object.
+type Item struct {
+	Key   []byte
+	Value []byte
+
+	addr    uint64 // simulated address of the item's slab chunk
+	class   int8
+	used    bool
+	lruPrev int32
+	lruNext int32
+}
+
+// Addr returns the simulated memory address of the item, used by the
+// pipeline to charge item-header and key-verification accesses.
+func (it *Item) Addr() uint64 { return it.addr }
+
+// ItemStore is the slab-backed object store. Items live in size-class slabs
+// carved out of simulated memory so index verification and LRU updates can
+// be charged through the cache model. Item references (uint32) index a
+// shared item table — the "shared array of object pointers" of Section
+// VI-B.
+type ItemStore struct {
+	space   *mem.AddressSpace
+	classes []slabClass
+	items   []Item
+	free    []uint32
+
+	lruHead int32
+	lruTail int32
+	count   int
+
+	// MaxBytes caps the memory charged to items (chunk sizes); 0 means
+	// unbounded. The server evicts from the LRU tail to respect it, which
+	// is Memcached's capacity behaviour.
+	MaxBytes  int
+	usedBytes int
+}
+
+type slabClass struct {
+	chunkSize int
+	arenas    []*mem.Arena
+	nextOff   int
+}
+
+// slabClassSizes are power-of-two chunk sizes from 64 B to 8 KB, covering
+// the paper's 20 B keys + 32 B values up to multi-KB objects.
+var slabClassSizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+const slabBytes = 1 << 20 // each slab allocation is 1 MB, as in Memcached
+
+// NewItemStore creates an empty store carving slabs from the given address
+// space.
+func NewItemStore(space *mem.AddressSpace) *ItemStore {
+	classes := make([]slabClass, len(slabClassSizes))
+	for i, sz := range slabClassSizes {
+		classes[i] = slabClass{chunkSize: sz}
+	}
+	return &ItemStore{space: space, classes: classes, lruHead: -1, lruTail: -1}
+}
+
+// Count returns the number of live items.
+func (s *ItemStore) Count() int { return s.count }
+
+// Set stores a copy of (key, value) and returns its reference.
+func (s *ItemStore) Set(key, value []byte) (uint32, error) {
+	need := itemHeaderBytes + len(key) + len(value)
+	ci := -1
+	for i, c := range s.classes {
+		if c.chunkSize >= need {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return NoRef, fmt.Errorf("kvs: object of %d bytes exceeds the largest slab class", need)
+	}
+
+	var ref uint32
+	if n := len(s.free); n > 0 {
+		ref = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.items = append(s.items, Item{})
+		ref = uint32(len(s.items) - 1)
+	}
+
+	addr, err := s.classes[ci].alloc(s.space)
+	if err != nil {
+		return NoRef, err
+	}
+	it := &s.items[ref]
+	*it = Item{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+		addr:  addr,
+		class: int8(ci),
+		used:  true,
+	}
+	s.count++
+	s.usedBytes += s.classes[ci].chunkSize
+	s.lruPushFront(int32(ref))
+	return ref, nil
+}
+
+// UsedBytes returns the chunk bytes currently charged to live items.
+func (s *ItemStore) UsedBytes() int { return s.usedBytes }
+
+// NeedsEviction reports whether storing an object of the given key/value
+// size would exceed MaxBytes (when a cap is set).
+func (s *ItemStore) NeedsEviction(keyLen, valLen int) bool {
+	if s.MaxBytes <= 0 {
+		return false
+	}
+	need := itemHeaderBytes + keyLen + valLen
+	for _, c := range s.classes {
+		if c.chunkSize >= need {
+			return s.usedBytes+c.chunkSize > s.MaxBytes
+		}
+	}
+	return true
+}
+
+// LRUTail returns the least-recently-used item's reference, or NoRef when
+// the store is empty — the eviction victim.
+func (s *ItemStore) LRUTail() uint32 {
+	if s.lruTail < 0 {
+		return NoRef
+	}
+	return uint32(s.lruTail)
+}
+
+func (c *slabClass) alloc(space *mem.AddressSpace) (uint64, error) {
+	if len(c.arenas) == 0 || c.nextOff+c.chunkSize > slabBytes {
+		c.arenas = append(c.arenas, space.Alloc(slabBytes))
+		c.nextOff = 0
+	}
+	a := c.arenas[len(c.arenas)-1]
+	addr := a.Addr(c.nextOff)
+	c.nextOff += c.chunkSize
+	return addr, nil
+}
+
+// Get returns the item for ref, or nil when the reference is invalid.
+func (s *ItemStore) Get(ref uint32) *Item {
+	if int(ref) >= len(s.items) || !s.items[ref].used {
+		return nil
+	}
+	return &s.items[ref]
+}
+
+// Delete frees the item. The slab chunk is leaked back to its class only
+// logically (Memcached's chunks likewise return to the class freelist; the
+// simulated address remains reserved).
+func (s *ItemStore) Delete(ref uint32) error {
+	it := s.Get(ref)
+	if it == nil {
+		return errors.New("kvs: delete of invalid reference")
+	}
+	s.lruUnlink(int32(ref))
+	s.usedBytes -= s.classes[it.class].chunkSize
+	*it = Item{lruPrev: -1, lruNext: -1}
+	s.free = append(s.free, ref)
+	s.count--
+	return nil
+}
+
+// TouchLRU moves the item to the LRU front — the cache-freshness metadata
+// update of the post-processing phase.
+func (s *ItemStore) TouchLRU(ref uint32) {
+	if s.Get(ref) == nil {
+		return
+	}
+	s.lruUnlink(int32(ref))
+	s.lruPushFront(int32(ref))
+}
+
+// WarmHot installs up to maxBytes of item chunks into the engine's caches,
+// walking items in insertion order (the Multi-Get generators make low
+// ordinals hottest, as memslap/mutilate key generation does).
+func (s *ItemStore) WarmHot(e interface{ Warm(addr uint64, size int) }, maxBytes int) {
+	warmed := 0
+	for i := range s.items {
+		it := &s.items[i]
+		if !it.used {
+			continue
+		}
+		sz := slabClassSizes[it.class]
+		e.Warm(it.addr, sz)
+		warmed += sz
+		if warmed >= maxBytes {
+			return
+		}
+	}
+}
+
+// LRUOrder returns the refs from most to least recently used (for tests).
+func (s *ItemStore) LRUOrder() []uint32 {
+	var out []uint32
+	for r := s.lruHead; r >= 0; r = s.items[r].lruNext {
+		out = append(out, uint32(r))
+	}
+	return out
+}
+
+func (s *ItemStore) lruPushFront(r int32) {
+	it := &s.items[r]
+	it.lruPrev = -1
+	it.lruNext = s.lruHead
+	if s.lruHead >= 0 {
+		s.items[s.lruHead].lruPrev = r
+	}
+	s.lruHead = r
+	if s.lruTail < 0 {
+		s.lruTail = r
+	}
+}
+
+func (s *ItemStore) lruUnlink(r int32) {
+	it := &s.items[r]
+	if it.lruPrev >= 0 {
+		s.items[it.lruPrev].lruNext = it.lruNext
+	} else if s.lruHead == r {
+		s.lruHead = it.lruNext
+	}
+	if it.lruNext >= 0 {
+		s.items[it.lruNext].lruPrev = it.lruPrev
+	} else if s.lruTail == r {
+		s.lruTail = it.lruPrev
+	}
+	it.lruPrev, it.lruNext = -1, -1
+}

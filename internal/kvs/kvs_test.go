@@ -1,0 +1,618 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/des"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/mem"
+)
+
+func TestItemStoreSetGet(t *testing.T) {
+	s := NewItemStore(mem.NewAddressSpace())
+	ref, err := s.Set([]byte("key-1"), []byte("value-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := s.Get(ref)
+	if it == nil || string(it.Key) != "key-1" || string(it.Value) != "value-1" {
+		t.Fatalf("Get(%d) = %+v", ref, it)
+	}
+	if s.Count() != 1 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestItemStoreCopiesBytes(t *testing.T) {
+	s := NewItemStore(mem.NewAddressSpace())
+	key := []byte("kk")
+	val := []byte("vv")
+	ref, _ := s.Set(key, val)
+	key[0] = 'X'
+	val[0] = 'X'
+	it := s.Get(ref)
+	if it.Key[0] == 'X' || it.Value[0] == 'X' {
+		t.Error("store must copy key/value bytes")
+	}
+}
+
+func TestItemStoreDistinctAddresses(t *testing.T) {
+	s := NewItemStore(mem.NewAddressSpace())
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		ref, err := s.Set([]byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte("v"), 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.Get(ref).Addr()
+		if seen[addr] {
+			t.Fatalf("duplicate item address %#x", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+func TestItemStoreSlabClasses(t *testing.T) {
+	s := NewItemStore(mem.NewAddressSpace())
+	small, _ := s.Set([]byte("k"), make([]byte, 4))
+	big, _ := s.Set([]byte("k2"), make([]byte, 4000))
+	if s.Get(small).class == s.Get(big).class {
+		t.Error("4 B and 4 KB values should land in different slab classes")
+	}
+	if _, err := s.Set([]byte("k3"), make([]byte, 1<<20)); err == nil {
+		t.Error("oversized object accepted")
+	}
+}
+
+func TestItemStoreDeleteAndReuse(t *testing.T) {
+	s := NewItemStore(mem.NewAddressSpace())
+	ref, _ := s.Set([]byte("a"), []byte("1"))
+	if err := s.Delete(ref); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(ref) != nil {
+		t.Error("deleted item still visible")
+	}
+	if err := s.Delete(ref); err == nil {
+		t.Error("double delete accepted")
+	}
+	ref2, _ := s.Set([]byte("b"), []byte("2"))
+	if ref2 != ref {
+		t.Errorf("freed ref not reused: got %d want %d", ref2, ref)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	s := NewItemStore(mem.NewAddressSpace())
+	a, _ := s.Set([]byte("a"), []byte("1"))
+	b, _ := s.Set([]byte("b"), []byte("2"))
+	c, _ := s.Set([]byte("c"), []byte("3"))
+	// Insertion order: c most recent.
+	if got := s.LRUOrder(); got[0] != c || got[2] != a {
+		t.Errorf("LRU after inserts = %v", got)
+	}
+	s.TouchLRU(a)
+	if got := s.LRUOrder(); got[0] != a || got[1] != c || got[2] != b {
+		t.Errorf("LRU after touch = %v", got)
+	}
+	s.Delete(c)
+	if got := s.LRUOrder(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("LRU after delete = %v", got)
+	}
+}
+
+// indexSuite runs the same behavioural checks against all three backends.
+func indexSuite(t *testing.T, mk func(space *mem.AddressSpace, capacity int) Index) {
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx := mk(space, 5000)
+	e := engine.New(arch.SkylakeClusterB(), 1)
+
+	type kv struct {
+		key  []byte
+		hash uint32
+		ref  uint32
+	}
+	var items []kv
+	seen := map[uint32]bool{}
+	for i := 0; len(items) < 2000; i++ {
+		key := []byte(fmt.Sprintf("bench-key-%08d", i))
+		h := Hash32(key)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		ref, err := store.Set(key, []byte(fmt.Sprintf("val-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Insert(h, ref); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		items = append(items, kv{key, h, ref})
+	}
+
+	// Batch lookup: all present keys resolve to the right refs.
+	batch := 64
+	keys := make([][]byte, batch)
+	hashes := make([]uint32, batch)
+	refs := make([]uint32, batch)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		want := make([]uint32, batch)
+		for i := 0; i < batch; i++ {
+			if i%8 == 7 {
+				// A guaranteed miss.
+				keys[i] = []byte(fmt.Sprintf("missing-key-%08d", i+trial*100))
+				hashes[i] = Hash32(keys[i])
+				want[i] = NoRef
+			} else {
+				pick := items[rng.Intn(len(items))]
+				keys[i] = pick.key
+				hashes[i] = pick.hash
+				want[i] = pick.ref
+			}
+		}
+		hits := idx.LookupBatch(e, store, keys, hashes, refs)
+		wantHits := 0
+		for i := range refs {
+			if want[i] != NoRef {
+				wantHits++
+				if refs[i] != want[i] {
+					t.Fatalf("%s: key %q → ref %d, want %d", idx.Name(), keys[i], refs[i], want[i])
+				}
+			} else if refs[i] != NoRef {
+				// A false positive would mean verification failed to reject.
+				t.Fatalf("%s: miss key %q resolved to %d", idx.Name(), keys[i], refs[i])
+			}
+		}
+		if hits != wantHits {
+			t.Fatalf("%s: hits = %d, want %d", idx.Name(), hits, wantHits)
+		}
+	}
+
+	if e.Cycles() == 0 {
+		t.Errorf("%s charged no cycles", idx.Name())
+	}
+	if idx.TableBytes() <= 0 {
+		t.Errorf("%s reports no table bytes", idx.Name())
+	}
+}
+
+func TestMemC3IndexBehaviour(t *testing.T) {
+	indexSuite(t, func(space *mem.AddressSpace, capacity int) Index {
+		return NewMemC3Index(space, capacity, 3)
+	})
+}
+
+func TestHorizontalIndexBehaviour(t *testing.T) {
+	indexSuite(t, func(space *mem.AddressSpace, capacity int) Index {
+		x, err := NewHorizontalIndex(space, capacity, 128, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	})
+}
+
+func TestVerticalIndexBehaviour(t *testing.T) {
+	indexSuite(t, func(space *mem.AddressSpace, capacity int) Index {
+		x, err := NewVerticalIndex(space, capacity, 128, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	})
+}
+
+func TestMemC3TagCollisionVerification(t *testing.T) {
+	// Two keys engineered into the same bucket with the same tag: the full
+	// key verification must disambiguate them.
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx := NewMemC3Index(space, 1000, 1)
+	e := engine.New(arch.SkylakeClusterB(), 1)
+
+	// Find two distinct keys with identical (bucket, tag).
+	var k1, k2 []byte
+	var h1, h2 uint32
+	byBT := map[uint64][]int{}
+	for i := 0; i < 200000; i++ {
+		key := []byte(fmt.Sprintf("collide-%08d", i))
+		h := Hash32(key)
+		bt := uint64(idx.bucketOf(h))<<8 | uint64(tagOf(h))
+		byBT[bt] = append(byBT[bt], i)
+		if len(byBT[bt]) == 2 {
+			a, b := byBT[bt][0], byBT[bt][1]
+			k1 = []byte(fmt.Sprintf("collide-%08d", a))
+			k2 = []byte(fmt.Sprintf("collide-%08d", b))
+			h1, h2 = Hash32(k1), Hash32(k2)
+			break
+		}
+	}
+	if k1 == nil {
+		t.Skip("no (bucket,tag) collision found in 200k keys")
+	}
+	r1, _ := store.Set(k1, []byte("v1"))
+	r2, _ := store.Set(k2, []byte("v2"))
+	if err := idx.Insert(h1, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(h2, r2); err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]uint32, 2)
+	idx.LookupBatch(e, store, [][]byte{k1, k2}, []uint32{h1, h2}, refs)
+	if refs[0] != r1 || refs[1] != r2 {
+		t.Fatalf("tag-colliding keys resolved to %v, want [%d %d]", refs, r1, r2)
+	}
+}
+
+func TestMemC3HighOccupancy(t *testing.T) {
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx := NewMemC3Index(space, 4000, 5)
+	slots := idx.TableBytes() / memc3BucketBytes * memc3Slots
+	// Fill to eviction failure: a (2,4) BCHT with partial-key cuckoo
+	// hashing should sustain ~95% occupancy (Fig. 2).
+	for i := 0; ; i++ {
+		key := []byte(fmt.Sprintf("occupancy-%07d", i))
+		ref, err := store.Set(key, []byte("v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Insert(Hash32(key), ref); err != nil {
+			break
+		}
+	}
+	if lf := float64(idx.Count()) / float64(slots); lf < 0.85 {
+		t.Errorf("MemC3 max occupancy %.2f, want >= 0.85", lf)
+	}
+}
+
+func TestMemC3Delete(t *testing.T) {
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx := NewMemC3Index(space, 100, 5)
+	e := engine.New(arch.SkylakeClusterB(), 1)
+	key := []byte("delete-me-000000")
+	h := Hash32(key)
+	ref, _ := store.Set(key, []byte("v"))
+	idx.Insert(h, ref)
+	if !idx.Delete(store, h, key) {
+		t.Fatal("delete failed")
+	}
+	refs := make([]uint32, 1)
+	idx.LookupBatch(e, store, [][]byte{key}, []uint32{h}, refs)
+	if refs[0] != NoRef {
+		t.Error("deleted key still found")
+	}
+	if idx.Delete(store, h, key) {
+		t.Error("double delete returned true")
+	}
+}
+
+func TestServerSetGetRoundTrip(t *testing.T) {
+	sim := des.New()
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx, err := NewVerticalIndex(space, 1000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sim, arch.SkylakeClusterB(), 4, 64, idx, store)
+	if _, err := srv.Set([]byte("hello-key-000001"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := srv.Get([]byte("hello-key-000001"))
+	if !ok || string(v) != "world" {
+		t.Fatalf("Get = (%q, %v)", v, ok)
+	}
+	if _, ok := srv.Get([]byte("missing-key-0001")); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestServerHandleMGet(t *testing.T) {
+	sim := des.New()
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx, err := NewHorizontalIndex(space, 1000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sim, arch.SkylakeClusterB(), 2, 64, idx, store)
+	keys := make([][]byte, 16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("mget-key-%07d", i))
+		if i%4 != 3 {
+			if _, err := srv.Set(keys[i], []byte(fmt.Sprintf("value-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var res MGetResult
+	done := false
+	srv.HandleMGet(keys, func(r MGetResult) { res = r; done = true })
+	sim.Run()
+	if !done {
+		t.Fatal("MGet never completed")
+	}
+	if res.Found != 12 {
+		t.Errorf("found = %d, want 12", res.Found)
+	}
+	for i, v := range res.Values {
+		if i%4 == 3 {
+			if v != nil {
+				t.Errorf("missing key %d returned %q", i, v)
+			}
+		} else if string(v) != fmt.Sprintf("value-%d", i) {
+			t.Errorf("key %d value = %q", i, v)
+		}
+	}
+	if res.Breakdown.Pre <= 0 || res.Breakdown.Lookup <= 0 || res.Breakdown.Post <= 0 {
+		t.Errorf("phase breakdown not populated: %+v", res.Breakdown)
+	}
+	if srv.Batches != 1 || srv.KeysServed != 16 || srv.KeysFound != 12 {
+		t.Errorf("server stats: %d batches, %d served, %d found", srv.Batches, srv.KeysServed, srv.KeysFound)
+	}
+}
+
+func TestServerWorkersLimitConcurrency(t *testing.T) {
+	sim := des.New()
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	idx := NewMemC3Index(space, 100, 1)
+	srv := NewServer(sim, arch.SkylakeClusterB(), 1, 16, idx, store)
+	key := []byte("worker-key-00001")
+	srv.Set(key, []byte("v"))
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		srv.HandleMGet([][]byte{key}, func(MGetResult) { finish = append(finish, sim.Now()) })
+	}
+	sim.Run()
+	if len(finish) != 3 {
+		t.Fatalf("completed %d", len(finish))
+	}
+	// With one worker the three batches must finish strictly serialized.
+	if !(finish[0] < finish[1] && finish[1] < finish[2]) {
+		t.Errorf("single worker did not serialize: %v", finish)
+	}
+}
+
+func TestHash32Property(t *testing.T) {
+	// Hash32 must be deterministic and spread byte-wise-adjacent keys.
+	f := func(a uint32) bool {
+		k1 := []byte(fmt.Sprintf("prop-key-%010d", a))
+		return Hash32(k1) == Hash32(k1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	distinct := map[uint32]bool{}
+	for i := 0; i < 10000; i++ {
+		distinct[Hash32([]byte(fmt.Sprintf("prop-key-%010d", i)))] = true
+	}
+	if len(distinct) < 9990 {
+		t.Errorf("only %d distinct hashes for 10000 keys", len(distinct))
+	}
+}
+
+func TestSIMDIndexRejectsHashCollision(t *testing.T) {
+	space := mem.NewAddressSpace()
+	idx, err := NewVerticalIndex(space, 100, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Insert(42, 2); err == nil {
+		t.Error("duplicate 32-bit hash accepted")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	sim := des.New()
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	store.MaxBytes = 64 * 100 // room for ~100 items of the smallest class
+	idx, err := NewVerticalIndex(space, 1000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sim, arch.SkylakeClusterB(), 2, 64, idx, store)
+
+	var keys [][]byte
+	for i := 0; i < 300; i++ {
+		key := []byte(fmt.Sprintf("evict-key-%06d", i))
+		if _, err := srv.Set(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if store.UsedBytes() > store.MaxBytes {
+		t.Errorf("used %d exceeds cap %d", store.UsedBytes(), store.MaxBytes)
+	}
+	if srv.Evictions == 0 {
+		t.Fatal("no evictions recorded despite exceeding capacity")
+	}
+	// The newest keys must be present, the oldest evicted (LRU order).
+	if _, ok := srv.Get(keys[len(keys)-1]); !ok {
+		t.Error("most recent key evicted")
+	}
+	if _, ok := srv.Get(keys[0]); ok {
+		t.Error("oldest key survived past capacity")
+	}
+	// Evicted keys must be fully gone from the index (no dangling refs).
+	hits := 0
+	for _, k := range keys {
+		if _, ok := srv.Get(k); ok {
+			hits++
+		}
+	}
+	if hits != store.Count() {
+		t.Errorf("index answered %d keys but store holds %d", hits, store.Count())
+	}
+}
+
+func TestGetRefreshesLRUAgainstEviction(t *testing.T) {
+	sim := des.New()
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	store.MaxBytes = 64 * 50
+	idx, err := NewHorizontalIndex(space, 1000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sim, arch.SkylakeClusterB(), 1, 64, idx, store)
+	hot := []byte("hot-key-00000001")
+	if _, err := srv.Set(hot, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		// Keep touching the hot key through the MGet path (which updates
+		// LRU in post-processing) while inserting cold keys.
+		done := false
+		srv.HandleMGet([][]byte{hot}, func(MGetResult) { done = true })
+		sim.Run()
+		if !done {
+			t.Fatal("mget did not run")
+		}
+		if _, err := srv.Set([]byte(fmt.Sprintf("cold-key-%07d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := srv.Get(hot); !ok {
+		t.Error("frequently-read key evicted despite LRU refreshes")
+	}
+}
+
+func TestIndexDelete(t *testing.T) {
+	space := mem.NewAddressSpace()
+	store := NewItemStore(space)
+	for _, mk := range []func() Index{
+		func() Index { return NewMemC3Index(space, 100, 1) },
+		func() Index { x, _ := NewHorizontalIndex(space, 100, 16, 1); return x },
+		func() Index { x, _ := NewVerticalIndex(space, 100, 16, 1); return x },
+	} {
+		idx := mk()
+		key := []byte("del-key-00000001")
+		h := Hash32(key)
+		ref, _ := store.Set(key, []byte("v"))
+		if err := idx.Insert(h, ref); err != nil {
+			t.Fatal(err)
+		}
+		if !idx.Delete(store, h, key) {
+			t.Errorf("%s: delete failed", idx.Name())
+		}
+		if idx.Delete(store, h, key) {
+			t.Errorf("%s: double delete succeeded", idx.Name())
+		}
+	}
+}
+
+func TestUsedBytesAccounting(t *testing.T) {
+	store := NewItemStore(mem.NewAddressSpace())
+	if store.UsedBytes() != 0 {
+		t.Error("fresh store has used bytes")
+	}
+	r1, _ := store.Set([]byte("k1"), make([]byte, 4))   // 64B class
+	r2, _ := store.Set([]byte("k2"), make([]byte, 400)) // 512B class
+	if store.UsedBytes() != 64+512 {
+		t.Errorf("used = %d, want 576", store.UsedBytes())
+	}
+	store.Delete(r1)
+	if store.UsedBytes() != 512 {
+		t.Errorf("used after delete = %d", store.UsedBytes())
+	}
+	store.Delete(r2)
+	if store.UsedBytes() != 0 {
+		t.Errorf("used after drain = %d", store.UsedBytes())
+	}
+}
+
+func TestRingOwnershipStable(t *testing.T) {
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("stable-key-000001")
+	s := r.Owner(key)
+	for i := 0; i < 10; i++ {
+		if r.Owner(key) != s {
+			t.Fatal("ownership not stable")
+		}
+	}
+	if s < 0 || s >= 4 {
+		t.Fatalf("owner %d out of range", s)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, _ := NewRing(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[r.Owner([]byte(fmt.Sprintf("balance-key-%08d", i)))]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / 40000
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("server %d owns %.1f%% of keys; ring unbalanced", s, frac*100)
+		}
+	}
+}
+
+func TestRingMinimalRemapping(t *testing.T) {
+	// Consistent hashing's defining property: growing the cluster remaps
+	// roughly 1/(n+1) of the keys, not all of them.
+	r4, _ := NewRing(4, 0)
+	r5, _ := NewRing(5, 0)
+	moved := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("remap-key-%08d", i))
+		if r4.Owner(key) != r5.Owner(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(n)
+	if frac > 0.35 {
+		t.Errorf("%.1f%% of keys moved when adding a 5th server; want ≈20%%", frac*100)
+	}
+	if frac < 0.05 {
+		t.Errorf("only %.1f%% moved; the new server got almost nothing", frac*100)
+	}
+}
+
+func TestRingSplitPreservesKeys(t *testing.T) {
+	r, _ := NewRing(3, 0)
+	keys := make([][]byte, 50)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("split-key-%07d", i))
+	}
+	parts := r.Split(keys)
+	total := 0
+	for s, sub := range parts {
+		total += len(sub)
+		for _, k := range sub {
+			if r.Owner(k) != s {
+				t.Fatalf("key %q in wrong partition", k)
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Errorf("split lost keys: %d of %d", total, len(keys))
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Error("zero servers accepted")
+	}
+}

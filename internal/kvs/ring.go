@@ -1,0 +1,72 @@
+package kvs
+
+import (
+	"fmt"
+	"sort"
+
+	"simdhtbench/internal/hashfn"
+)
+
+// Ring is the client-side consistent-hash ring of Section VI-A's request
+// phase: "each key in MGet(K1..Kn) is mapped to a specific Memcached server
+// using consistent hashing, and requests are batched by their respective
+// servers". Virtual nodes smooth the key distribution across servers, as in
+// libmemcached's ketama.
+type Ring struct {
+	points  []ringPoint
+	servers int
+}
+
+type ringPoint struct {
+	hash   uint64
+	server int
+}
+
+// DefaultVNodes is the virtual-node count per server (ketama uses 100–200).
+const DefaultVNodes = 160
+
+// NewRing builds a ring over `servers` servers with vnodes virtual nodes
+// each (0 picks DefaultVNodes).
+func NewRing(servers, vnodes int) (*Ring, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("kvs: ring needs at least one server")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{servers: servers}
+	for s := 0; s < servers; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := hashfn.HashBytes([]byte(fmt.Sprintf("server-%d-vnode-%d", s, v)))
+			r.points = append(r.points, ringPoint{hash: h, server: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Servers returns the server count.
+func (r *Ring) Servers() int { return r.servers }
+
+// Owner maps a key to its server: the first ring point clockwise from the
+// key's hash.
+func (r *Ring) Owner(key []byte) int {
+	h := hashfn.HashBytes(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].server
+}
+
+// Split partitions a Multi-Get batch by owning server, preserving key
+// order within each sub-batch — the per-server batching of the request
+// phase. The returned map contains only servers that own at least one key.
+func (r *Ring) Split(keys [][]byte) map[int][][]byte {
+	out := make(map[int][][]byte)
+	for _, k := range keys {
+		s := r.Owner(k)
+		out[s] = append(out[s], k)
+	}
+	return out
+}

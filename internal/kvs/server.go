@@ -1,0 +1,231 @@
+package kvs
+
+import (
+	"fmt"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/des"
+	"simdhtbench/internal/engine"
+)
+
+// Per-key pipeline cost constants (cycles), modeling the server data-access
+// phase of Section VI-A. Parsing and response assembly scale with byte
+// counts; the fixed parts cover dispatch, bounds checks and metadata.
+const (
+	parseFixedCycles   = 25.0 // request demarshalling / dispatch per key
+	parseCyclesPerByte = 1.0  // token scan over key bytes
+	hashCyclesPerByte  = 1.0  // full-key hash
+	hashFixedCycles    = 15.0
+	lruUpdateCycles    = 60.0 // LRU unlink/relink + lock handling
+	respFixedCycles    = 70.0 // per-key response header + iovec setup
+	respCyclesPerByte  = 0.5  // value copy into the send buffer
+	notFoundRespCycles = 30.0
+)
+
+// PhaseBreakdown is the per-batch server time split of Fig. 11b: the
+// pre-processing, hash-table-lookup and post-processing sub-phases of the
+// server data access phase, in seconds.
+type PhaseBreakdown struct {
+	Pre    float64
+	Lookup float64
+	Post   float64
+}
+
+// Total returns the summed phase time.
+func (p PhaseBreakdown) Total() float64 { return p.Pre + p.Lookup + p.Post }
+
+// MGetResult is what HandleMGet delivers when a batch finishes.
+type MGetResult struct {
+	Values    [][]byte // per requested key; nil = NOT_FOUND
+	Found     int
+	RespBytes int
+	Breakdown PhaseBreakdown
+}
+
+// Server is the RDMA-Memcached-style server: a pool of worker threads
+// processing Multi-Get batches against a shared item store and a pluggable
+// hash-table index. Each worker runs on its own simulated core (engine);
+// batch service time is the engine-charged cycle count of the three
+// pipeline phases converted at the index's license frequency.
+type Server struct {
+	Sim     *des.Sim
+	Arch    *arch.Model
+	Workers *des.Resource
+	Index   Index
+	Store   *ItemStore
+
+	engines    []*engine.Engine
+	freeEng    []int
+	refScratch [][]uint32
+	hashScr    [][]uint32
+
+	// Accumulated stats.
+	Batches     uint64
+	KeysServed  uint64
+	KeysFound   uint64
+	Evictions   uint64
+	PhaseTotals PhaseBreakdown
+}
+
+// NewServer builds a server with `workers` worker threads on the given
+// architecture. maxBatch caps the Multi-Get size.
+func NewServer(sim *des.Sim, model *arch.Model, workers, maxBatch int, index Index, store *ItemStore) *Server {
+	s := &Server{
+		Sim:     sim,
+		Arch:    model,
+		Workers: des.NewResource(sim, workers),
+		Index:   index,
+		Store:   store,
+	}
+	for i := 0; i < workers; i++ {
+		s.engines = append(s.engines, engine.New(model, workers))
+		s.freeEng = append(s.freeEng, i)
+		s.refScratch = append(s.refScratch, make([]uint32, maxBatch))
+		s.hashScr = append(s.hashScr, make([]uint32, maxBatch))
+	}
+	return s
+}
+
+// Set stores (key, value) and indexes it; used by the load phase and by a
+// Memcached "set" command. When the store is capacity-bounded
+// (ItemStore.MaxBytes), least-recently-used items are evicted — from both
+// the store and the index — to make room, as Memcached does. Returns the
+// item reference.
+func (s *Server) Set(key, value []byte) (uint32, error) {
+	h := Hash32(key)
+	for s.Store.NeedsEviction(len(key), len(value)) {
+		victim := s.Store.LRUTail()
+		if victim == NoRef {
+			break
+		}
+		it := s.Store.Get(victim)
+		s.Index.Delete(s.Store, Hash32(it.Key), it.Key)
+		if err := s.Store.Delete(victim); err != nil {
+			return NoRef, err
+		}
+		s.Evictions++
+	}
+	ref, err := s.Store.Set(key, value)
+	if err != nil {
+		return NoRef, err
+	}
+	if err := s.Index.Insert(h, ref); err != nil {
+		s.Store.Delete(ref)
+		return NoRef, fmt.Errorf("kvs: indexing %q: %w", key, err)
+	}
+	return ref, nil
+}
+
+// Get performs a native single-key lookup (uncharged), for functional use
+// and tests.
+func (s *Server) Get(key []byte) ([]byte, bool) {
+	e := s.engines[0]
+	e.SetCharging(false)
+	defer e.SetCharging(true)
+	keys := [][]byte{key}
+	hashes := []uint32{Hash32(key)}
+	refs := []uint32{NoRef}
+	s.Index.LookupBatch(e, s.Store, keys, hashes, refs)
+	if refs[0] == NoRef {
+		return nil, false
+	}
+	return s.Store.Get(refs[0]).Value, true
+}
+
+// HandleMGet schedules a Multi-Get batch: it waits for a free worker,
+// charges the three pipeline phases on that worker's core, and delivers the
+// result after the simulated service time.
+func (s *Server) HandleMGet(keys [][]byte, done func(MGetResult)) {
+	s.Workers.Acquire(func() {
+		wi := s.freeEng[len(s.freeEng)-1]
+		s.freeEng = s.freeEng[:len(s.freeEng)-1]
+		res := s.processBatch(wi, keys)
+		service := res.Breakdown.Total()
+		s.Sim.After(service, func() {
+			s.freeEng = append(s.freeEng, wi)
+			s.Workers.Release()
+			done(res)
+		})
+	})
+}
+
+// processBatch runs the three phases on worker wi's engine and returns the
+// result with per-phase times.
+func (s *Server) processBatch(wi int, keys [][]byte) MGetResult {
+	e := s.engines[wi]
+	freq := s.Arch.Frequency(s.Index.Width()) * 1e9
+	hashes := s.hashScr[wi][:len(keys)]
+	refs := s.refScratch[wi][:len(keys)]
+
+	// Phase 1: pre-processing — parse each key out of the request and
+	// compute its 32-bit hash.
+	start := e.Cycles()
+	for i, k := range keys {
+		e.ChargeCycles(parseFixedCycles + parseCyclesPerByte*float64(len(k)))
+		e.ChargeCycles(hashFixedCycles + hashCyclesPerByte*float64(len(k)))
+		hashes[i] = Hash32(k)
+	}
+	preCycles := e.Cycles() - start
+
+	// Phase 2: hash-table lookup (charged probing + full-key verification).
+	start = e.Cycles()
+	found := s.Index.LookupBatch(e, s.Store, keys, hashes, refs)
+	lookupCycles := e.Cycles() - start
+
+	// Phase 3: post-processing — LRU freshness updates and response
+	// assembly (value copies for hits, NOT_FOUND markers for misses).
+	start = e.Cycles()
+	values := make([][]byte, len(keys))
+	respBytes := 0
+	for i, ref := range refs {
+		if ref == NoRef {
+			e.ChargeCycles(notFoundRespCycles)
+			respBytes += 8
+			continue
+		}
+		it := s.Store.Get(ref)
+		e.OverlappedAccess(it.Addr(), itemHeaderBytes)
+		e.ChargeCycles(lruUpdateCycles)
+		s.Store.TouchLRU(ref)
+		e.ChargeCycles(respFixedCycles + respCyclesPerByte*float64(len(it.Value)))
+		values[i] = it.Value
+		respBytes += len(it.Value) + 16
+	}
+	postCycles := e.Cycles() - start
+
+	b := PhaseBreakdown{
+		Pre:    preCycles / freq,
+		Lookup: lookupCycles / freq,
+		Post:   postCycles / freq,
+	}
+	s.Batches++
+	s.KeysServed += uint64(len(keys))
+	s.KeysFound += uint64(found)
+	s.PhaseTotals.Pre += b.Pre
+	s.PhaseTotals.Lookup += b.Lookup
+	s.PhaseTotals.Post += b.Post
+
+	return MGetResult{Values: values, Found: found, RespBytes: respBytes, Breakdown: b}
+}
+
+// WarmCaches installs the index table and the hottest items in every
+// worker's simulated caches — the steady state a long-running server
+// reaches (the hot set of a skewed key-value workload stays resident; see
+// Section V-B's discussion of temporal locality). The remaining warm-up
+// happens through the client's discarded warm-up requests.
+func (s *Server) WarmCaches() {
+	hotBudget := (s.Arch.LastLevelCacheSize() * 3) / 4
+	for _, e := range s.engines {
+		s.Index.Warm(e)
+		s.Store.WarmHot(e, hotBudget)
+	}
+}
+
+// ResetStats clears the accumulated batch statistics (called after the
+// warm-up window) without disturbing cache state.
+func (s *Server) ResetStats() {
+	s.Batches = 0
+	s.KeysServed = 0
+	s.KeysFound = 0
+	s.PhaseTotals = PhaseBreakdown{}
+}

@@ -1,0 +1,185 @@
+package memslap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"simdhtbench/internal/des"
+	"simdhtbench/internal/kvs"
+	"simdhtbench/internal/netsim"
+	"simdhtbench/internal/workload"
+)
+
+// ClusterResults aggregates a multi-server Multi-Get run.
+type ClusterResults struct {
+	Servers        int
+	BatchSize      int
+	Requests       int
+	ThroughputKeys float64 // aggregate keys/s across the cluster
+	AvgLatency     float64 // end-to-end Multi-Get latency (all sub-batches)
+	P99Latency     float64
+	HitRate        float64
+	AvgFanout      float64 // servers touched per Multi-Get
+}
+
+// String renders a one-line summary.
+func (r ClusterResults) String() string {
+	return fmt.Sprintf("%d servers n=%d: %.2f Mkeys/s, avg %.1f us, fanout %.1f",
+		r.Servers, r.BatchSize, r.ThroughputKeys/1e6, r.AvgLatency*1e6, r.AvgFanout)
+}
+
+// RunCluster drives the full Section VI-A pipeline across a server cluster:
+// each client maps its Multi-Get's keys to servers with consistent hashing,
+// sends one sub-batch per owning server, and the Multi-Get completes when
+// the last sub-response arrives (the request's latency is the fan-out max).
+// This is the multi-server generalization of Run; with one server the two
+// measure the same pipeline.
+func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring *kvs.Ring, keys [][]byte, cfg Config) (ClusterResults, error) {
+	if len(servers) == 0 || ring == nil || ring.Servers() != len(servers) {
+		return ClusterResults{}, fmt.Errorf("memslap: ring and server list must agree")
+	}
+	if cfg.Clients <= 0 || cfg.BatchSize <= 0 || cfg.Requests <= 0 {
+		return ClusterResults{}, fmt.Errorf("memslap: clients, batch size and requests must be positive")
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Requests / 5
+	}
+	theta := cfg.ZipfTheta
+	if theta == 0 {
+		theta = workload.DefaultZipfTheta
+	}
+	if cfg.RequestOverheadBytes == 0 {
+		cfg.RequestOverheadBytes = 8
+	}
+
+	serverEPs := make([]*netsim.Endpoint, len(servers))
+	for i, srv := range servers {
+		serverEPs[i] = fabric.Endpoint(fmt.Sprintf("server-%d", i))
+		srv.WarmCaches()
+	}
+
+	total := cfg.Warmup + cfg.Requests
+	issued, completed := 0, 0
+	var latencies []float64
+	var hits, served uint64
+	var fanoutSum int
+	var measStart, measEnd float64
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf, err := workload.NewZipf(len(keys), theta, rng)
+	if err != nil {
+		return ClusterResults{}, err
+	}
+
+	var issue func(clientEP *netsim.Endpoint)
+	issue = func(clientEP *netsim.Endpoint) {
+		if issued >= total {
+			return
+		}
+		issued++
+		seq := issued
+		batch := make([][]byte, cfg.BatchSize)
+		for i := range batch {
+			batch[i] = keys[zipf.Next()]
+		}
+		parts := ring.Split(batch)
+		pending := len(parts)
+		foundTotal := 0
+		sent := sim.Now()
+
+		finish := func() {
+			completed++
+			if seq > cfg.Warmup {
+				latencies = append(latencies, sim.Now()-sent)
+				hits += uint64(foundTotal)
+				served += uint64(len(batch))
+				fanoutSum += len(parts)
+				measEnd = sim.Now()
+			} else if seq == cfg.Warmup {
+				measStart = sim.Now()
+				for _, srv := range servers {
+					srv.ResetStats()
+				}
+			}
+			issue(clientEP)
+		}
+
+		for s, sub := range parts {
+			s, sub := s, sub
+			reqBytes := 24
+			for _, k := range sub {
+				reqBytes += len(k) + cfg.RequestOverheadBytes
+			}
+			clientEP.Send(serverEPs[s], reqBytes, func() {
+				servers[s].HandleMGet(sub, func(res kvs.MGetResult) {
+					serverEPs[s].Send(clientEP, res.RespBytes, func() {
+						foundTotal += res.Found
+						pending--
+						if pending == 0 {
+							finish()
+						}
+					})
+				})
+			})
+		}
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)))
+	}
+	sim.Run()
+
+	if completed < total {
+		return ClusterResults{}, fmt.Errorf("memslap: deadlock — completed %d of %d requests", completed, total)
+	}
+
+	elapsed := measEnd - measStart
+	if elapsed <= 0 {
+		elapsed = math.SmallestNonzeroFloat64
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	n := len(latencies)
+	return ClusterResults{
+		Servers:        len(servers),
+		BatchSize:      cfg.BatchSize,
+		Requests:       n,
+		ThroughputKeys: float64(served) / elapsed,
+		AvgLatency:     sum / float64(n),
+		P99Latency:     latencies[min(n-1, n*99/100)],
+		HitRate:        float64(hits) / float64(served),
+		AvgFanout:      float64(fanoutSum) / float64(n),
+	}, nil
+}
+
+// LoadCluster distributes `count` memslap-style items across the cluster by
+// ring ownership and returns all keys.
+func LoadCluster(servers []*kvs.Server, ring *kvs.Ring, count, keyBytes, valueBytes int) ([][]byte, error) {
+	keys := make([][]byte, 0, count)
+	seen := make(map[uint32]struct{}, count)
+	value := make([]byte, valueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	for i := 0; len(keys) < count; i++ {
+		if i > count*2+1000 {
+			return nil, fmt.Errorf("memslap: too many hash collisions loading %d cluster keys", count)
+		}
+		key := makeKey(i, keyBytes)
+		h := kvs.Hash32(key)
+		if _, dup := seen[h]; dup {
+			continue
+		}
+		seen[h] = struct{}{}
+		if _, err := servers[ring.Owner(key)].Set(key, value); err != nil {
+			return nil, err
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}

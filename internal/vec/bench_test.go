@@ -1,0 +1,27 @@
+package vec
+
+import "testing"
+
+func BenchmarkSet1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Set1(512, 32, uint64(i))
+	}
+}
+
+func BenchmarkCmpEq512(b *testing.B) {
+	x := Set1(512, 32, 7)
+	y := Set1(512, 32, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CmpEq(32, x, y)
+	}
+}
+
+func BenchmarkMulLo(b *testing.B) {
+	x := Set1(512, 32, 0x9E3779B9)
+	y := Set1(512, 32, 12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulLo(32, x, y)
+	}
+}

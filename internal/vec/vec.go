@@ -1,0 +1,279 @@
+// Package vec implements a software SIMD register file.
+//
+// Go exposes no AVX intrinsics, so this package provides lane-exact software
+// equivalents of the SSE/AVX2/AVX-512 operations the paper's lookup
+// templates use: broadcast (set1), packed compare-to-mask, blend, shifts,
+// multiplies for vectorized hashing, and lane extraction for gathers. The
+// operations here are purely functional — they compute lane values and
+// masks. Cycle accounting lives in internal/engine, which wraps these ops
+// and charges costs from the architecture model.
+//
+// A Vec is a fixed 64-byte (512-bit) buffer plus an active width; narrower
+// registers (128-/256-bit) simply use a prefix of the buffer. Lane widths of
+// 16, 32 and 64 bits are supported, matching the paper's key/payload sizes.
+package vec
+
+import "fmt"
+
+// MaxBytes is the widest register size in bytes (AVX-512).
+const MaxBytes = 64
+
+// Vec is a SIMD register of 128, 256 or 512 bits.
+type Vec struct {
+	bits int
+	b    [MaxBytes]byte
+}
+
+// Mask is a per-lane predicate, lane i in bit i (like AVX-512 k-registers).
+type Mask uint32
+
+// Zero returns an all-zero register of the given width in bits.
+func Zero(bits int) Vec {
+	checkWidth(bits)
+	return Vec{bits: bits}
+}
+
+// Bits returns the register width in bits.
+func (v Vec) Bits() int { return v.bits }
+
+// Bytes returns the register width in bytes.
+func (v Vec) Bytes() int { return v.bits / 8 }
+
+// NumLanes returns how many lanes of laneBits fit in the register.
+func NumLanes(bits, laneBits int) int {
+	checkWidth(bits)
+	checkLane(laneBits)
+	return bits / laneBits
+}
+
+// Lane extracts lane i, interpreting the register as laneBits-wide lanes.
+func (v Vec) Lane(laneBits, i int) uint64 {
+	checkLane(laneBits)
+	n := v.bits / laneBits
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("vec: lane %d out of %d", i, n))
+	}
+	off := i * laneBits / 8
+	var out uint64
+	for b := 0; b < laneBits/8; b++ {
+		out |= uint64(v.b[off+b]) << (8 * b)
+	}
+	return out
+}
+
+// WithLane returns a copy of v with lane i replaced (laneBits-wide lanes).
+func (v Vec) WithLane(laneBits, i int, val uint64) Vec {
+	checkLane(laneBits)
+	n := v.bits / laneBits
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("vec: lane %d out of %d", i, n))
+	}
+	off := i * laneBits / 8
+	for b := 0; b < laneBits/8; b++ {
+		v.b[off+b] = byte(val >> (8 * b))
+	}
+	return v
+}
+
+// Set1 broadcasts val to every laneBits-wide lane of a bits-wide register
+// (the _mm*_set1_epi* family).
+func Set1(bits, laneBits int, val uint64) Vec {
+	v := Zero(bits)
+	for i := 0; i < bits/laneBits; i++ {
+		v = v.WithLane(laneBits, i, val)
+	}
+	return v
+}
+
+// FromLanes builds a register from explicit lane values; len(vals) must
+// equal the lane count.
+func FromLanes(bits, laneBits int, vals []uint64) Vec {
+	n := NumLanes(bits, laneBits)
+	if len(vals) != n {
+		panic(fmt.Sprintf("vec: FromLanes got %d values for %d lanes", len(vals), n))
+	}
+	v := Zero(bits)
+	for i, val := range vals {
+		v = v.WithLane(laneBits, i, val)
+	}
+	return v
+}
+
+// FromBytes builds a register from raw little-endian bytes (an unaligned
+// vector load); len(data) must equal bits/8.
+func FromBytes(bits int, data []byte) Vec {
+	checkWidth(bits)
+	if len(data) != bits/8 {
+		panic(fmt.Sprintf("vec: FromBytes got %d bytes for a %d-bit register", len(data), bits))
+	}
+	v := Vec{bits: bits}
+	copy(v.b[:], data)
+	return v
+}
+
+// ToBytes returns a copy of the register's active bytes, little-endian.
+func (v Vec) ToBytes() []byte {
+	out := make([]byte, v.bits/8)
+	copy(out, v.b[:])
+	return out
+}
+
+// ToLanes returns all lane values.
+func (v Vec) ToLanes(laneBits int) []uint64 {
+	n := v.bits / laneBits
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = v.Lane(laneBits, i)
+	}
+	return out
+}
+
+// CmpEq compares lanes for equality and returns a mask with bit i set when
+// lane i of a equals lane i of b (the _mm*_cmpeq_epi* family).
+func CmpEq(laneBits int, a, b Vec) Mask {
+	sameShape(a, b)
+	var m Mask
+	for i := 0; i < a.bits/laneBits; i++ {
+		if a.Lane(laneBits, i) == b.Lane(laneBits, i) {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// And computes the lanewise bitwise AND.
+func And(a, b Vec) Vec {
+	sameShape(a, b)
+	out := Vec{bits: a.bits}
+	for i := 0; i < a.bits/8; i++ {
+		out.b[i] = a.b[i] & b.b[i]
+	}
+	return out
+}
+
+// Add adds lanes modulo the lane width.
+func Add(laneBits int, a, b Vec) Vec {
+	sameShape(a, b)
+	out := Zero(a.bits)
+	mask := laneMask(laneBits)
+	for i := 0; i < a.bits/laneBits; i++ {
+		out = out.WithLane(laneBits, i, (a.Lane(laneBits, i)+b.Lane(laneBits, i))&mask)
+	}
+	return out
+}
+
+// MulLo multiplies lanes keeping the low laneBits of each product (the
+// _mm*_mullo_epi* family, the workhorse of vectorized multiply-shift
+// hashing).
+func MulLo(laneBits int, a, b Vec) Vec {
+	sameShape(a, b)
+	out := Zero(a.bits)
+	mask := laneMask(laneBits)
+	for i := 0; i < a.bits/laneBits; i++ {
+		out = out.WithLane(laneBits, i, (a.Lane(laneBits, i)*b.Lane(laneBits, i))&mask)
+	}
+	return out
+}
+
+// ShiftRight logically shifts every lane right by n bits.
+func ShiftRight(laneBits int, a Vec, n uint) Vec {
+	out := Zero(a.bits)
+	for i := 0; i < a.bits/laneBits; i++ {
+		out = out.WithLane(laneBits, i, a.Lane(laneBits, i)>>n)
+	}
+	return out
+}
+
+// Xor computes the lanewise bitwise XOR.
+func Xor(a, b Vec) Vec {
+	sameShape(a, b)
+	out := Vec{bits: a.bits}
+	for i := 0; i < a.bits/8; i++ {
+		out.b[i] = a.b[i] ^ b.b[i]
+	}
+	return out
+}
+
+// Blend selects lane i from a when mask bit i is clear and from b when set
+// (the _mm*_blendv / masked-move family).
+func Blend(laneBits int, mask Mask, a, b Vec) Vec {
+	sameShape(a, b)
+	out := Zero(a.bits)
+	for i := 0; i < a.bits/laneBits; i++ {
+		if mask.Test(i) {
+			out = out.WithLane(laneBits, i, b.Lane(laneBits, i))
+		} else {
+			out = out.WithLane(laneBits, i, a.Lane(laneBits, i))
+		}
+	}
+	return out
+}
+
+// Test reports whether mask bit i is set.
+func (m Mask) Test(i int) bool { return m&(1<<i) != 0 }
+
+// Count returns the number of set bits (population count of the k-mask).
+func (m Mask) Count() int {
+	n := 0
+	for v := m; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// FirstSet returns the lowest set bit index, or -1 when empty.
+func (m Mask) FirstSet() int {
+	if m == 0 {
+		return -1
+	}
+	for i := 0; i < 32; i++ {
+		if m.Test(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// None reports whether no bit is set.
+func (m Mask) None() bool { return m == 0 }
+
+// LaneMaskAll returns the mask with the first n bits set.
+func LaneMaskAll(n int) Mask {
+	if n < 0 || n > 32 {
+		panic(fmt.Sprintf("vec: mask width %d out of range", n))
+	}
+	if n == 32 {
+		return Mask(0xFFFFFFFF)
+	}
+	return Mask(1<<n) - 1
+}
+
+func laneMask(laneBits int) uint64 {
+	checkLane(laneBits)
+	if laneBits == 64 {
+		return ^uint64(0)
+	}
+	return (1 << laneBits) - 1
+}
+
+func checkWidth(bits int) {
+	switch bits {
+	case 128, 256, 512:
+	default:
+		panic(fmt.Sprintf("vec: unsupported register width %d bits", bits))
+	}
+}
+
+func checkLane(laneBits int) {
+	switch laneBits {
+	case 16, 32, 64:
+	default:
+		panic(fmt.Sprintf("vec: unsupported lane width %d bits", laneBits))
+	}
+}
+
+func sameShape(a, b Vec) {
+	if a.bits != b.bits {
+		panic(fmt.Sprintf("vec: width mismatch %d vs %d", a.bits, b.bits))
+	}
+}
