@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet check clean
+
+# The tier-1 gate: everything CI (and a reviewer) needs to trust a change.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 
 	"simdhtbench/internal/experiments"
 	"simdhtbench/internal/report"
+	"simdhtbench/internal/sweep"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		batch    = flag.Int("batch", 16, "single: Multi-Get size")
 		seed     = flag.Int64("seed", 7, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "sweep workers fanning configurations out (0 = all cores, 1 = sequential); output is identical at every setting")
+		sstats   = flag.Bool("sweepstats", false, "print per-job sweep timing to stderr after each experiment")
 	)
 	flag.Parse()
 
@@ -43,6 +46,13 @@ func main() {
 		Requests: *requests,
 		Batches:  parseBatches(*batches),
 		Seed:     *seed,
+		Parallel: *parallel,
+	}
+	if *sstats {
+		opts.OnSweep = func(s *sweep.Stats) {
+			s.Table().Fprint(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 
 	args := flag.Args()

@@ -28,15 +28,18 @@ import (
 	"simdhtbench/internal/core"
 	"simdhtbench/internal/experiments"
 	"simdhtbench/internal/report"
+	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
 )
 
 func main() {
 	var (
-		cpu     = flag.String("cpu", "skylake-a", "CPU model: skylake-a, skylake-b, cascadelake, icelake, zen2")
-		queries = flag.Int("queries", 6000, "measured queries per configuration")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		cpu      = flag.String("cpu", "skylake-a", "CPU model: skylake-a, skylake-b, cascadelake, icelake, zen2")
+		queries  = flag.Int("queries", 6000, "measured queries per configuration")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "sweep workers fanning configurations out (0 = all cores, 1 = sequential); output is identical at every setting")
+		sstats   = flag.Bool("sweepstats", false, "print per-job sweep timing to stderr after each experiment")
 
 		n       = flag.Int("n", 2, "validate/run: number of hash functions (N)")
 		m       = flag.Int("m", 4, "validate/run: slots per bucket (m; 1 = non-bucketized)")
@@ -56,7 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := experiments.Options{Queries: *queries, Seed: *seed}
+	opts := experiments.Options{Queries: *queries, Seed: *seed, Parallel: *parallel}
+	if *sstats {
+		opts.OnSweep = func(s *sweep.Stats) {
+			s.Table().Fprint(os.Stderr)
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -1,0 +1,215 @@
+package cuckoo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/cuckoomap"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/mem"
+)
+
+// The differential tests drive random workloads through all four charged
+// lookup algorithms and check every found/not-found flag and payload against
+// a cuckoomap.Map oracle built from the same insert sequence. Unlike
+// lookup_test.go, which cross-checks variants against this package's own
+// native Lookup, the oracle here is an independent hash-table implementation
+// — a shared bug in this package's bucket addressing would still disagree
+// with it.
+
+func oracleHash(k uint64) uint64 {
+	// splitmix64 finalizer — unrelated to the multiply-shift family the
+	// table under test uses.
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// buildDifferential feeds an identical random insert sequence — including
+// duplicate keys that must update payloads in both implementations — into a
+// fresh Table and a cuckoomap oracle, then derives a query mix of hits and
+// guaranteed-miss odd keys.
+func buildDifferential(t *testing.T, l Layout, nq int, seed int64) (*Table, *cuckoomap.Map[uint64, uint64], *Stream, *ResultBuf, []uint64, *engine.Engine) {
+	t.Helper()
+	space := mem.NewAddressSpace()
+	tb, err := New(space, l, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := cuckoomap.New[uint64, uint64](oracleHash, 64)
+	rng := rand.New(rand.NewSource(seed))
+
+	target := int(0.8 * float64(l.Slots()))
+	inserted := make([]uint64, 0, target)
+	for tb.Count() < target {
+		var key uint64
+		if len(inserted) > 0 && rng.Float64() < 0.1 {
+			// Re-insert an existing key with a fresh payload: both sides
+			// must update in place.
+			key = inserted[rng.Intn(len(inserted))]
+		} else {
+			key = (rng.Uint64() & l.KeyMask()) &^ 1
+			if key == 0 {
+				continue
+			}
+		}
+		val := rng.Uint64() & l.ValMask()
+		if err := tb.Insert(key, val); err != nil {
+			if err == ErrFull {
+				break
+			}
+			t.Fatal(err)
+		}
+		oracle.Put(key, val)
+		inserted = append(inserted, key)
+	}
+	if tb.Count() != oracle.Len() {
+		t.Fatalf("table holds %d keys, oracle %d", tb.Count(), oracle.Len())
+	}
+	if tb.Count() < 8 {
+		t.Fatalf("only %d keys inserted for %s", tb.Count(), l)
+	}
+
+	queries := make([]uint64, nq)
+	for i := range queries {
+		if rng.Float64() < 0.75 {
+			queries[i] = inserted[rng.Intn(len(inserted))]
+		} else {
+			queries[i] = (rng.Uint64() & l.KeyMask()) | 1 // odd = never inserted
+		}
+	}
+	return tb, oracle, NewStream(space, queries, l.KeyBits),
+		NewResultBuf(space, nq, l.ValBits), queries, engine.New(arch.SkylakeClusterA(), 1)
+}
+
+func checkAgainstOracle(t *testing.T, name string, oracle *cuckoomap.Map[uint64, uint64], queries []uint64, res *ResultBuf, found []bool) {
+	t.Helper()
+	for i, q := range queries {
+		wantV, wantOK := oracle.Get(q)
+		if found[i] != wantOK {
+			t.Fatalf("%s: query %d (key %#x): found=%v, oracle=%v", name, i, q, found[i], wantOK)
+		}
+		if wantOK {
+			if got := res.Get(i); got != wantV {
+				t.Fatalf("%s: query %d (key %#x): payload %#x, oracle %#x", name, i, q, got, wantV)
+			}
+		}
+	}
+}
+
+// TestDifferentialAllAlgorithms runs every charged lookup algorithm that is
+// valid for each layout against the oracle: scalar and AMAC everywhere,
+// horizontal at every admissible width on bucketized layouts, vertical (and
+// the hybrid path when m > 1) at every admissible width.
+func TestDifferentialAllAlgorithms(t *testing.T) {
+	layouts := []Layout{
+		{N: 2, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 10},
+		{N: 3, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 9},
+		{N: 3, M: 1, KeyBits: 64, ValBits: 64, BucketBits: 8},
+		{N: 2, M: 1, KeyBits: 16, ValBits: 16, BucketBits: 8},
+		{N: 2, M: 2, KeyBits: 32, ValBits: 32, BucketBits: 9},
+		{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 8},
+		{N: 2, M: 8, KeyBits: 16, ValBits: 32, BucketBits: 7},
+		{N: 3, M: 2, KeyBits: 32, ValBits: 32, BucketBits: 8},
+		{N: 4, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 9},
+	}
+	const nq = 400
+	for li, l := range layouts {
+		seed := int64(1000 + li)
+		tb, oracle, stream, res, queries, eng := buildDifferential(t, l, nq, seed)
+		found := make([]bool, nq)
+
+		run := func(name string, lookup func() int) {
+			for i := range found {
+				found[i] = false
+			}
+			hits := lookup()
+			checkAgainstOracle(t, name+"/"+l.String(), oracle, queries, res, found)
+			n := 0
+			for _, f := range found {
+				if f {
+					n++
+				}
+			}
+			if hits != n {
+				t.Errorf("%s/%s: returned %d hits, found flags say %d", name, l, hits, n)
+			}
+		}
+
+		run("scalar", func() int {
+			return tb.LookupScalarBatch(eng, stream, 0, nq, res, found)
+		})
+		run("amac", func() int {
+			return tb.LookupAMACBatch(eng, stream, 0, nq, AMACConfig{}, res, found)
+		})
+		for _, w := range []int{128, 256, 512} {
+			if ok, bpv := HorVValid(w, l); ok {
+				w, bpv := w, bpv
+				run(fmt.Sprintf("horizontal%d", w), func() int {
+					return tb.LookupHorizontalBatch(eng, stream, 0, nq,
+						HorizontalConfig{Width: w, BucketsPerVec: bpv}, res, found)
+				})
+			}
+		}
+		for _, w := range []int{256, 512} {
+			if ok, _ := VerVValid(w, l); ok {
+				w := w
+				run(fmt.Sprintf("vertical%d", w), func() int {
+					return tb.LookupVerticalBatch(eng, stream, 0, nq,
+						VerticalConfig{Width: w}, res, found)
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialAfterDeletes repeats the scalar/vertical check after
+// deleting a random third of the keys from both structures, so empty-slot
+// reuse and the oracle's tombstone-free deletion are exercised on the same
+// key set.
+func TestDifferentialAfterDeletes(t *testing.T) {
+	l := Layout{N: 3, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 9}
+	const nq = 300
+	tb, oracle, _, _, _, eng := buildDifferential(t, l, nq, 4242)
+
+	rng := rand.New(rand.NewSource(99))
+	var keys []uint64
+	oracle.Range(func(k, _ uint64) bool { keys = append(keys, k); return true })
+	for _, k := range keys {
+		if rng.Float64() < 0.33 {
+			if tb.Delete(k) != oracle.Delete(k) {
+				t.Fatalf("delete disagreement on key %#x", k)
+			}
+		}
+	}
+	if tb.Count() != oracle.Len() {
+		t.Fatalf("after deletes: table %d keys, oracle %d", tb.Count(), oracle.Len())
+	}
+
+	queries := make([]uint64, nq)
+	for i := range queries {
+		if rng.Float64() < 0.8 {
+			queries[i] = keys[rng.Intn(len(keys))] // mix of survivors and deleted
+		} else {
+			queries[i] = (rng.Uint64() & l.KeyMask()) | 1
+		}
+	}
+	space := mem.NewAddressSpace()
+	stream := NewStream(space, queries, l.KeyBits)
+	res := NewResultBuf(space, nq, l.ValBits)
+	found := make([]bool, nq)
+
+	tb.LookupScalarBatch(eng, stream, 0, nq, res, found)
+	checkAgainstOracle(t, "scalar-after-delete", oracle, queries, res, found)
+
+	for i := range found {
+		found[i] = false
+	}
+	tb.LookupVerticalBatch(eng, stream, 0, nq, VerticalConfig{Width: 512}, res, found)
+	checkAgainstOracle(t, "vertical-after-delete", oracle, queries, res, found)
+}

@@ -1,0 +1,152 @@
+package cuckoomap
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+)
+
+// TestShardedShiftEdgeCases pins the shard-selection arithmetic directly:
+// shift must put the top log2(shards) hash bits in range for every rounded
+// shard count, and the single-shard map must route everything to shard 0
+// (shift 64 would otherwise be undefined behavior on a real CPU shift).
+func TestShardedShiftEdgeCases(t *testing.T) {
+	for _, req := range []int{-4, 0, 1, 2, 3, 5, 6, 7, 9, 16, 1000} {
+		s := NewSharded[uint64, int](u64Hash, req, 0)
+		n := s.Shards()
+		if n&(n-1) != 0 || n < 1 {
+			t.Fatalf("request %d: shard count %d is not a power of two", req, n)
+		}
+		if req > 0 && (n < req || n >= 2*req) {
+			t.Fatalf("request %d rounded to %d, want the next power of two", req, n)
+		}
+		wantShift := uint(64 - bits.TrailingZeros(uint(n)))
+		if n == 1 {
+			wantShift = 64
+		}
+		if s.shift != wantShift {
+			t.Fatalf("request %d (%d shards): shift %d, want %d", req, n, s.shift, wantShift)
+		}
+		// Every key must land inside the shard slice, and the selection must
+		// agree with the documented top-bits rule.
+		for k := uint64(0); k < 500; k++ {
+			sh := s.shardFor(k)
+			var want *shard[uint64, int]
+			if n == 1 {
+				want = &s.shards[0]
+			} else {
+				want = &s.shards[u64Hash(k)>>s.shift]
+			}
+			if sh != want {
+				t.Fatalf("request %d: key %d routed to the wrong shard", req, k)
+			}
+		}
+	}
+}
+
+func TestShardedSingleShardBehaves(t *testing.T) {
+	s := NewSharded[uint64, int](u64Hash, 1, 10)
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		s.Put(i, int(i)*3)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := s.Get(i)
+		if !ok || v != int(i)*3 {
+			t.Fatalf("key %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if !s.Delete(7) || s.Delete(7) {
+		t.Fatal("delete semantics broken on single shard")
+	}
+}
+
+// TestShardedParallelStress runs concurrent writers over disjoint key
+// ranges, readers over the full range, a deleter re-inserting its own keys,
+// and Range/Len sweeps — meaningful mainly under -race, but the final state
+// is verified exactly too.
+func TestShardedParallelStress(t *testing.T) {
+	s := NewSharded[uint64, uint64](u64Hash, 8, 4096)
+	const (
+		writers     = 4
+		keysPerGoro = 2000
+	)
+	var wg sync.WaitGroup
+
+	// Writers: disjoint key ranges, each key written twice (second write
+	// must update, not duplicate).
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w * keysPerGoro)
+			for pass := 0; pass < 2; pass++ {
+				for i := uint64(0); i < keysPerGoro; i++ {
+					s.Put(base+i, (base+i)*uint64(pass+1))
+				}
+			}
+		}()
+	}
+
+	// Readers: any hit must be one of the two values a writer stores.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for k := uint64(0); k < writers*keysPerGoro; k += 97 {
+					if v, ok := s.Get(k); ok && v != k && v != 2*k {
+						t.Errorf("key %d: impossible value %d", k, v)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Churn: delete-and-reinsert a private key range above the writers'.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := uint64(writers * keysPerGoro)
+		for round := 0; round < 20; round++ {
+			for i := uint64(0); i < 200; i++ {
+				s.Put(base+i, i)
+			}
+			for i := uint64(0); i < 200; i++ {
+				s.Delete(base + i)
+			}
+		}
+	}()
+
+	// Sweepers: Range and Len must be safe against concurrent writes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 20; round++ {
+			count := 0
+			s.Range(func(k, v uint64) bool { count++; return true })
+			if l := s.Len(); l < 0 || count < 0 {
+				t.Errorf("impossible sweep: count=%d len=%d", count, l)
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Deterministic final state: churn keys gone, every writer key holds its
+	// second-pass value.
+	if got, want := s.Len(), writers*keysPerGoro; got != want {
+		t.Fatalf("final Len = %d, want %d", got, want)
+	}
+	for k := uint64(0); k < writers*keysPerGoro; k++ {
+		v, ok := s.Get(k)
+		if !ok || v != 2*k {
+			t.Fatalf("final state: key %d = (%d,%v), want (%d,true)", k, v, ok, 2*k)
+		}
+	}
+}

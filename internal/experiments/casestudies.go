@@ -6,6 +6,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
 	"simdhtbench/internal/report"
+	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
 )
 
@@ -21,6 +22,7 @@ func Fig7a(o Options) (*report.Table, error) {
 	type cfg struct {
 		keyBits, valBits, n, mm int
 	}
+	var jobs []sweep.Job[[]string]
 	for _, c := range []cfg{
 		{32, 32, 3, 1}, // reference from Case Study 1
 		{64, 64, 3, 1},
@@ -28,29 +30,43 @@ func Fig7a(o Options) (*report.Table, error) {
 		{32, 32, 2, 8}, // reference for the BCHT comparison
 	} {
 		for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
-			r, err := core.Run(core.Params{
-				Arch: m, N: c.n, M: c.mm, KeyBits: c.keyBits, ValBits: c.valBits,
-				TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
-				Pattern: p, Queries: o.Queries, Seed: o.Seed,
+			c, p := c, p
+			jobs = append(jobs, sweep.Job[[]string]{
+				Label: fmt.Sprintf("fig7a (%d,%d)b (%d,%d) %s", c.keyBits, c.valBits, c.n, c.mm, p),
+				Run: func() ([]string, error) {
+					r, err := core.Run(core.Params{
+						Arch: m, N: c.n, M: c.mm, KeyBits: c.keyBits, ValBits: c.valBits,
+						TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
+						Pattern: p, Queries: o.Queries, Seed: o.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					best, ok := r.Best()
+					if !ok {
+						return []string{
+							fmt.Sprintf("(%d,%d)", c.keyBits, c.valBits),
+							fmt.Sprintf("(%d,%d)", c.n, c.mm), p.String(),
+							fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6), "-", "-", "-",
+						}, nil
+					}
+					return []string{
+						fmt.Sprintf("(%d,%d)", c.keyBits, c.valBits),
+						fmt.Sprintf("(%d,%d)", c.n, c.mm), p.String(),
+						fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+						best.Choice.String(),
+						fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
+						fmt.Sprintf("%.2fx", r.Speedup(best)),
+					}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			best, ok := r.Best()
-			if !ok {
-				t.AddRow(fmt.Sprintf("(%d,%d)", c.keyBits, c.valBits),
-					fmt.Sprintf("(%d,%d)", c.n, c.mm), p.String(),
-					fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6), "-", "-", "-")
-				continue
-			}
-			t.AddRow(fmt.Sprintf("(%d,%d)", c.keyBits, c.valBits),
-				fmt.Sprintf("(%d,%d)", c.n, c.mm), p.String(),
-				fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-				best.Choice.String(),
-				fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
-				fmt.Sprintf("%.2fx", r.Speedup(best)))
 		}
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -63,36 +79,50 @@ func Fig7b(o Options) (*report.Table, error) {
 	m := arch.SkylakeClusterA()
 	t := report.NewTable("Fig. 7b / Case Study 3: AVX2 vs AVX-512 on Skylake, uniform, LF=90%, hit=90%",
 		"HT Size", "Cores", "Layout", "AVX2 M/s", "AVX-512 M/s", "512/256 gain")
+	var jobs []sweep.Job[[]string]
 	for _, sz := range []int{1 << 20, 16 << 20} {
 		for _, cores := range []int{20, 40} {
 			for _, nm := range [][2]int{{3, 1}, {2, 4}} {
-				r, err := core.Run(core.Params{
-					Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
-					TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9, Cores: cores,
-					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-					Widths: []int{256, 512},
+				sz, cores, nm := sz, cores, nm
+				jobs = append(jobs, sweep.Job[[]string]{
+					Label: fmt.Sprintf("fig7b %s %dc (%d,%d)", sizeLabel(sz), cores, nm[0], nm[1]),
+					Run: func() ([]string, error) {
+						r, err := core.Run(core.Params{
+							Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
+							TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9, Cores: cores,
+							Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+							Widths: []int{256, 512},
+						})
+						if err != nil {
+							return nil, err
+						}
+						var v256, v512 float64
+						for _, meas := range r.Vector {
+							switch meas.Choice.Width {
+							case 256:
+								v256 = meas.LookupsPerSec
+							case 512:
+								v512 = meas.LookupsPerSec
+							}
+						}
+						gain := "-"
+						if v256 > 0 && v512 > 0 {
+							gain = fmt.Sprintf("%+.0f%%", (v512/v256-1)*100)
+						}
+						return []string{
+							sizeLabel(sz), fmt.Sprintf("%d", cores), fmt.Sprintf("(%d,%d)", nm[0], nm[1]),
+							fmt.Sprintf("%.1f", v256/1e6), fmt.Sprintf("%.1f", v512/1e6), gain,
+						}, nil
+					},
 				})
-				if err != nil {
-					return nil, err
-				}
-				var v256, v512 float64
-				for _, meas := range r.Vector {
-					switch meas.Choice.Width {
-					case 256:
-						v256 = meas.LookupsPerSec
-					case 512:
-						v512 = meas.LookupsPerSec
-					}
-				}
-				gain := "-"
-				if v256 > 0 && v512 > 0 {
-					gain = fmt.Sprintf("%+.0f%%", (v512/v256-1)*100)
-				}
-				t.AddRow(sizeLabel(sz), cores, fmt.Sprintf("(%d,%d)", nm[0], nm[1]),
-					fmt.Sprintf("%.1f", v256/1e6), fmt.Sprintf("%.1f", v512/1e6), gain)
 			}
 		}
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -104,31 +134,45 @@ func Fig8(o Options) (*report.Table, error) {
 	o = o.withDefaults()
 	t := report.NewTable("Fig. 8 / Case Study 4: Skylake vs Cascade Lake, LF=90%, hit=90%",
 		"Arch", "HT Size", "Pattern", "Design", "Scalar M/s", "SIMD M/s", "Speedup")
+	var jobs []sweep.Job[[]string]
 	for _, m := range []*arch.Model{arch.SkylakeClusterA(), arch.CascadeLake()} {
 		for _, sz := range []int{1 << 20, 16 << 20} {
 			for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
 				for _, nm := range [][2]int{{2, 4}, {3, 1}} {
-					r, err := core.Run(core.Params{
-						Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
-						TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
-						Pattern: p, Queries: o.Queries, Seed: o.Seed,
+					m, sz, p, nm := m, sz, p, nm
+					jobs = append(jobs, sweep.Job[[]string]{
+						Label: fmt.Sprintf("fig8 %s %s %s (%d,%d)", shortArch(m), sizeLabel(sz), p, nm[0], nm[1]),
+						Run: func() ([]string, error) {
+							r, err := core.Run(core.Params{
+								Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
+								TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
+								Pattern: p, Queries: o.Queries, Seed: o.Seed,
+							})
+							if err != nil {
+								return nil, err
+							}
+							best, _ := r.Best()
+							design := "(2,4) BCHT Hor"
+							if nm[1] == 1 {
+								design = "3-way Ver"
+							}
+							return []string{
+								shortArch(m), sizeLabel(sz), p.String(), design,
+								fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+								fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
+								fmt.Sprintf("%.2fx", r.Speedup(best)),
+							}, nil
+						},
 					})
-					if err != nil {
-						return nil, err
-					}
-					best, _ := r.Best()
-					design := "(2,4) BCHT Hor"
-					if nm[1] == 1 {
-						design = "3-way Ver"
-					}
-					t.AddRow(shortArch(m), sizeLabel(sz), p.String(), design,
-						fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-						fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
-						fmt.Sprintf("%.2fx", r.Speedup(best)))
 				}
 			}
 		}
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -151,30 +195,45 @@ func Fig9(o Options) (*report.Table, error) {
 		n, mm int
 		sz    int
 	}
-	for _, c := range []cfg{
+	cfgs := []cfg{
 		{arch.SkylakeClusterA(), 2, 1, 1 << 20},
 		{arch.SkylakeClusterA(), 2, 2, 1 << 20},
 		{arch.CascadeLake(), 3, 1, 16 << 20},
 		{arch.CascadeLake(), 3, 2, 16 << 20},
-	} {
-		approaches := []core.Approach{core.Vertical, core.VerticalHybrid}
-		r, err := core.Run(core.Params{
-			Arch: c.m, N: c.n, M: c.mm, KeyBits: 32, ValBits: 32,
-			TableBytes: c.sz, LoadFactor: 0.85, HitRate: 0.9,
-			Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-			Widths: []int{512}, Approaches: approaches,
-		})
-		if err != nil {
-			return nil, err
-		}
-		best, ok := r.Best()
-		if !ok {
-			return nil, fmt.Errorf("experiments: no vertical choice for (%d,%d)", c.n, c.mm)
-		}
-		t.AddRow(shortArch(c.m), sizeLabel(c.sz), fmt.Sprintf("(%d,%d)", c.n, c.mm),
-			fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-			fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
-			fmt.Sprintf("%.2fx", r.Speedup(best)))
 	}
+	jobs := make([]sweep.Job[[]string], len(cfgs))
+	for i, c := range cfgs {
+		c := c
+		jobs[i] = sweep.Job[[]string]{
+			Label: fmt.Sprintf("fig9 %s (%d,%d)", shortArch(c.m), c.n, c.mm),
+			Run: func() ([]string, error) {
+				approaches := []core.Approach{core.Vertical, core.VerticalHybrid}
+				r, err := core.Run(core.Params{
+					Arch: c.m, N: c.n, M: c.mm, KeyBits: 32, ValBits: 32,
+					TableBytes: c.sz, LoadFactor: 0.85, HitRate: 0.9,
+					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+					Widths: []int{512}, Approaches: approaches,
+				})
+				if err != nil {
+					return nil, err
+				}
+				best, ok := r.Best()
+				if !ok {
+					return nil, fmt.Errorf("experiments: no vertical choice for (%d,%d)", c.n, c.mm)
+				}
+				return []string{
+					shortArch(c.m), sizeLabel(c.sz), fmt.Sprintf("(%d,%d)", c.n, c.mm),
+					fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+					fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
+					fmt.Sprintf("%.2fx", r.Speedup(best)),
+				}, nil
+			},
+		}
+	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }

@@ -5,6 +5,12 @@
 // benchmarks (bench_test.go) and the tests all share the same experiment
 // definitions.
 //
+// Every runner fans its configurations out across the internal/sweep worker
+// pool: each job builds its own engine, address space and seeded RNGs, so
+// runs are independent, and the sweep merges results back in canonical
+// configuration order — output is bit-identical at any parallelism level
+// (Options.Parallel == 1 recovers the historical sequential loops).
+//
 // The per-experiment index in DESIGN.md maps every runner here to its
 // paper counterpart; EXPERIMENTS.md records paper-vs-measured shapes.
 package experiments
@@ -15,6 +21,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
 	"simdhtbench/internal/report"
+	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
 )
 
@@ -23,6 +30,15 @@ import (
 type Options struct {
 	Queries int   // measured queries per configuration (default 6000)
 	Seed    int64 // base seed (default 1)
+
+	// Parallel is the sweep worker count: 0 fans configurations out across
+	// all cores (GOMAXPROCS), 1 runs them sequentially on the calling
+	// goroutine. Results are bit-identical at every setting.
+	Parallel int
+
+	// OnSweep, when non-nil, observes the timing stats of every sweep the
+	// experiment performs (the CLIs wire -sweepstats to print them).
+	OnSweep func(*sweep.Stats)
 }
 
 func (o Options) withDefaults() Options {
@@ -33,6 +49,27 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// fanOut runs the jobs through the sweep runner at the requested
+// parallelism and reports timing stats to the observer, if any.
+func fanOut[T any](parallel int, onSweep func(*sweep.Stats), jobs []sweep.Job[T]) ([]T, error) {
+	out, stats, err := sweep.Run(parallel, jobs)
+	if onSweep != nil {
+		onSweep(stats)
+	}
+	return out, err
+}
+
+// addRows appends pre-rendered rows to a table in order.
+func addRows(t *report.Table, rows [][]string) {
+	for _, row := range rows {
+		cells := make([]interface{}, len(row))
+		for i, c := range row {
+			cells[i] = c
+		}
+		t.AddRow(cells...)
+	}
 }
 
 // Table1 reproduces Table I: the registry of state-of-the-art CPU-optimized
@@ -49,10 +86,27 @@ func Table1() *report.Table {
 }
 
 // Fig2 reproduces Fig. 2: maximum achievable load factor per (N, m) cuckoo
-// variant, measured by inserting to failure.
+// variant, measured by inserting to failure. Each variant is an independent
+// sweep job (its trial seeds depend only on (N, m, trial), so the fan-out
+// preserves the sequential numbers exactly).
 func Fig2(o Options) (*report.Table, error) {
 	o = o.withDefaults()
-	points, err := core.LoadFactorStudy(core.Fig2Variants(), 10, 3, o.Seed)
+	variants := core.Fig2Variants()
+	jobs := make([]sweep.Job[core.LoadFactorPoint], len(variants))
+	for i, nm := range variants {
+		nm := nm
+		jobs[i] = sweep.Job[core.LoadFactorPoint]{
+			Label: fmt.Sprintf("fig2 (%d,%d)", nm[0], nm[1]),
+			Run: func() (core.LoadFactorPoint, error) {
+				pts, err := core.LoadFactorStudy([][2]int{nm}, 10, 3, o.Seed)
+				if err != nil {
+					return core.LoadFactorPoint{}, err
+				}
+				return pts[0], nil
+			},
+		}
+	}
+	points, err := fanOut(o.Parallel, o.OnSweep, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -81,29 +135,42 @@ func Listing1() (string, error) {
 	return core.FormatListing(m, 32, 32, m.Widths, rows), nil
 }
 
-// grid runs the Fig. 5 (N, m) grid for one access pattern and appends rows.
-func grid(t *report.Table, m *arch.Model, pattern workload.Pattern, tableBytes int, o Options) error {
-	for _, nm := range [][2]int{{2, 1}, {3, 1}, {4, 1}, {2, 2}, {2, 4}, {2, 8}, {3, 2}, {3, 4}, {3, 8}} {
-		r, err := core.Run(core.Params{
-			Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
-			TableBytes: tableBytes, LoadFactor: 0.9, HitRate: 0.9,
-			Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
-		})
-		if err != nil {
-			return err
+// fig5Variants is the Fig. 5 (N, m) grid in paper order.
+var fig5Variants = [][2]int{{2, 1}, {3, 1}, {4, 1}, {2, 2}, {2, 4}, {2, 8}, {3, 2}, {3, 4}, {3, 8}}
+
+// gridJobs builds one sweep job per (N, m) variant of the Fig. 5 grid for
+// one access pattern, each returning its rendered table row.
+func gridJobs(m *arch.Model, pattern workload.Pattern, tableBytes int, o Options) []sweep.Job[[]string] {
+	jobs := make([]sweep.Job[[]string], len(fig5Variants))
+	for i, nm := range fig5Variants {
+		nm := nm
+		jobs[i] = sweep.Job[[]string]{
+			Label: fmt.Sprintf("fig5 (%d,%d) %s", nm[0], nm[1], pattern),
+			Run: func() ([]string, error) {
+				r, err := core.Run(core.Params{
+					Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
+					TableBytes: tableBytes, LoadFactor: 0.9, HitRate: 0.9,
+					Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				best, ok := r.Best()
+				bestStr, speedStr := "-", "-"
+				if ok {
+					bestStr = fmt.Sprintf("%s %.1f M/s", best.Choice, best.LookupsPerSec/1e6)
+					speedStr = fmt.Sprintf("%.2fx", r.Speedup(best))
+				}
+				return []string{
+					fmt.Sprintf("(%d,%d)", nm[0], nm[1]), pattern.String(),
+					fmt.Sprintf("%.2f", r.AchievedLF),
+					fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+					bestStr, speedStr,
+				}, nil
+			},
 		}
-		best, ok := r.Best()
-		bestStr, speedStr := "-", "-"
-		if ok {
-			bestStr = fmt.Sprintf("%s %.1f M/s", best.Choice, best.LookupsPerSec/1e6)
-			speedStr = fmt.Sprintf("%.2fx", r.Speedup(best))
-		}
-		t.AddRow(fmt.Sprintf("(%d,%d)", nm[0], nm[1]), pattern.String(),
-			fmt.Sprintf("%.2f", r.AchievedLF),
-			fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-			bestStr, speedStr)
 	}
-	return nil
+	return jobs
 }
 
 // Fig5 reproduces Case Study ①(a): horizontal vs vertical SIMD approaches
@@ -114,11 +181,15 @@ func Fig5(o Options) (*report.Table, error) {
 	m := arch.SkylakeClusterA()
 	t := report.NewTable("Fig. 5 / Case Study 1a: SIMD approaches on Skylake, 1MB HT, (32,32)b, LF=90%, hit=90%",
 		"(N,m)", "Pattern", "LF", "Scalar M/s", "Best SIMD", "Speedup")
+	var jobs []sweep.Job[[]string]
 	for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
-		if err := grid(t, m, p, 1<<20, o); err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, gridJobs(m, p, 1<<20, o)...)
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -129,23 +200,37 @@ func Fig6(o Options) (*report.Table, error) {
 	m := arch.SkylakeClusterA()
 	t := report.NewTable("Fig. 6 / Case Study 1b: HT size sweep on Skylake, uniform, LF=90%, hit=90%",
 		"HT Size", "Layout", "Scalar M/s", "Best SIMD", "Speedup")
+	var jobs []sweep.Job[[]string]
 	for _, sz := range []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20} {
 		for _, nm := range [][2]int{{2, 4}, {3, 1}} {
-			r, err := core.Run(core.Params{
-				Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
-				TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
-				Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+			sz, nm := sz, nm
+			jobs = append(jobs, sweep.Job[[]string]{
+				Label: fmt.Sprintf("fig6 %s (%d,%d)", sizeLabel(sz), nm[0], nm[1]),
+				Run: func() ([]string, error) {
+					r, err := core.Run(core.Params{
+						Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
+						TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
+						Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					best, _ := r.Best()
+					return []string{
+						sizeLabel(sz), fmt.Sprintf("(%d,%d)", nm[0], nm[1]),
+						fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+						fmt.Sprintf("%s %.1f M/s", best.Choice, best.LookupsPerSec/1e6),
+						fmt.Sprintf("%.2fx", r.Speedup(best)),
+					}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			best, _ := r.Best()
-			t.AddRow(sizeLabel(sz), fmt.Sprintf("(%d,%d)", nm[0], nm[1]),
-				fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-				fmt.Sprintf("%s %.1f M/s", best.Choice, best.LookupsPerSec/1e6),
-				fmt.Sprintf("%.2fx", r.Speedup(best)))
 		}
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -162,29 +247,46 @@ func sizeLabel(sz int) string {
 func Fig5Grid(pattern workload.Pattern, o Options) (*report.Grid, error) {
 	o = o.withDefaults()
 	m := arch.SkylakeClusterA()
-	g := report.NewGrid(
-		fmt.Sprintf("Fig. 5 grid (%s): best SIMD M lookups/s (speedup); blue=N-way row m=1, yellow=BCHT", pattern),
-		"slots/bkt", "N=2", "N=3", "N=4")
+	type cell struct {
+		row, col, value string
+	}
+	var jobs []sweep.Job[cell]
 	for _, mm := range []int{1, 2, 4, 8} {
 		for _, n := range []int{2, 3, 4} {
 			if mm > 1 && n == 4 {
 				continue // the paper's grid stops BCHT at N=3
 			}
-			r, err := core.Run(core.Params{
-				Arch: m, N: n, M: mm, KeyBits: 32, ValBits: 32,
-				TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
-				Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+			mm, n := mm, n
+			jobs = append(jobs, sweep.Job[cell]{
+				Label: fmt.Sprintf("fig5grid (%d,%d) %s", n, mm, pattern),
+				Run: func() (cell, error) {
+					r, err := core.Run(core.Params{
+						Arch: m, N: n, M: mm, KeyBits: 32, ValBits: 32,
+						TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
+						Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+					})
+					if err != nil {
+						return cell{}, err
+					}
+					best, ok := r.Best()
+					value := "no SIMD fit"
+					if ok {
+						value = fmt.Sprintf("%.0f M/s (%.2fx)", best.LookupsPerSec/1e6, r.Speedup(best))
+					}
+					return cell{row: fmt.Sprintf("m=%d", mm), col: fmt.Sprintf("N=%d", n), value: value}, nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			best, ok := r.Best()
-			cell := "no SIMD fit"
-			if ok {
-				cell = fmt.Sprintf("%.0f M/s (%.2fx)", best.LookupsPerSec/1e6, r.Speedup(best))
-			}
-			g.Set(fmt.Sprintf("m=%d", mm), fmt.Sprintf("N=%d", n), cell)
 		}
+	}
+	cells, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	g := report.NewGrid(
+		fmt.Sprintf("Fig. 5 grid (%s): best SIMD M lookups/s (speedup); blue=N-way row m=1, yellow=BCHT", pattern),
+		"slots/bkt", "N=2", "N=3", "N=4")
+	for _, c := range cells {
+		g.Set(c.row, c.col, c.value)
 	}
 	return g, nil
 }

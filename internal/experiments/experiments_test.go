@@ -14,6 +14,15 @@ import (
 var testOpts = Options{Queries: 800, Seed: 1}
 var testKVS = KVSOptions{Items: 40000, Requests: 400, Batches: []int{16}, Seed: 7}
 
+// skipHeavyUnderRace exempts the few tests dominated by sequential multi-MB
+// table fills from the race-detector run; see race_test.go.
+func skipHeavyUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorOn {
+		t.Skip("heavy sequential table fill; covered by the non-race run")
+	}
+}
+
 func TestTable1(t *testing.T) {
 	tab := Table1()
 	if tab.Rows() != 8 {
@@ -60,6 +69,7 @@ func TestFig5Runs(t *testing.T) {
 }
 
 func TestFig6SpeedupDecays(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig6(testOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +90,7 @@ func TestFig7aRuns(t *testing.T) {
 }
 
 func TestFig7bRuns(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig7b(testOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +101,7 @@ func TestFig7bRuns(t *testing.T) {
 }
 
 func TestFig8Runs(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig8(testOpts)
 	if err != nil {
 		t.Fatal(err)
@@ -187,6 +199,7 @@ func TestMixedWorkloadStudy(t *testing.T) {
 }
 
 func TestAMACStudy(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := AMACStudy(Options{Queries: 600, Seed: 1})
 	if err != nil {
 		t.Fatal(err)

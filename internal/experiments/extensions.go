@@ -6,6 +6,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
 	"simdhtbench/internal/report"
+	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
 )
 
@@ -27,39 +28,54 @@ func SplitBucket(o Options) (*report.Table, error) {
 	type cfg struct {
 		n, mm, kb, vb int
 	}
+	var jobs []sweep.Job[[]string]
 	for _, c := range []cfg{
 		{2, 8, 16, 32},
 		{2, 4, 32, 32},
 		{2, 8, 32, 32},
 	} {
 		for _, split := range []bool{false, true} {
-			r, err := core.Run(core.Params{
-				Arch: m, N: c.n, M: c.mm, KeyBits: c.kb, ValBits: c.vb, Split: split,
-				TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
-				Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-				Approaches: []core.Approach{core.Horizontal},
-			})
-			if err != nil {
-				return nil, err
-			}
+			c, split := c, split
 			arrangement := "interleaved"
 			if split {
 				arrangement = "split"
 			}
-			best, ok := r.Best()
-			if !ok {
-				t.AddRow(fmt.Sprintf("(%d,%d)", c.n, c.mm), fmt.Sprintf("(%d,%d)", c.kb, c.vb),
-					arrangement, fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6), "-", "-", "-")
-				continue
-			}
-			t.AddRow(fmt.Sprintf("(%d,%d)", c.n, c.mm), fmt.Sprintf("(%d,%d)", c.kb, c.vb),
-				arrangement,
-				fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-				best.Choice.String(),
-				fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
-				fmt.Sprintf("%.2fx", r.Speedup(best)))
+			jobs = append(jobs, sweep.Job[[]string]{
+				Label: fmt.Sprintf("split (%d,%d)x(%d,%d) %s", c.n, c.mm, c.kb, c.vb, arrangement),
+				Run: func() ([]string, error) {
+					r, err := core.Run(core.Params{
+						Arch: m, N: c.n, M: c.mm, KeyBits: c.kb, ValBits: c.vb, Split: split,
+						TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
+						Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+						Approaches: []core.Approach{core.Horizontal},
+					})
+					if err != nil {
+						return nil, err
+					}
+					best, ok := r.Best()
+					if !ok {
+						return []string{
+							fmt.Sprintf("(%d,%d)", c.n, c.mm), fmt.Sprintf("(%d,%d)", c.kb, c.vb),
+							arrangement, fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6), "-", "-", "-",
+						}, nil
+					}
+					return []string{
+						fmt.Sprintf("(%d,%d)", c.n, c.mm), fmt.Sprintf("(%d,%d)", c.kb, c.vb),
+						arrangement,
+						fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+						best.Choice.String(),
+						fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
+						fmt.Sprintf("%.2fx", r.Speedup(best)),
+					}, nil
+				},
+			})
 		}
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -72,24 +88,39 @@ func MixedWorkload(o Options) (*report.Table, error) {
 	m := arch.SkylakeClusterA()
 	t := report.NewTable("Extension (paper future work): mixed read/update workloads, 3-way cuckoo HT, 1MB, Skylake",
 		"Update fraction", "Scalar Mops/s", "Best SIMD Mops/s", "Speedup")
-	for _, uf := range []float64{0, 0.01, 0.05, 0.25, 0.5} {
-		r, err := core.RunMixed(core.Params{
-			Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
-			TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
-			Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-		}, uf)
-		if err != nil {
-			return nil, err
+	fractions := []float64{0, 0.01, 0.05, 0.25, 0.5}
+	jobs := make([]sweep.Job[[]string], len(fractions))
+	for i, uf := range fractions {
+		uf := uf
+		jobs[i] = sweep.Job[[]string]{
+			Label: fmt.Sprintf("mixed %.0f%%", uf*100),
+			Run: func() ([]string, error) {
+				r, err := core.RunMixed(core.Params{
+					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
+					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
+					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+				}, uf)
+				if err != nil {
+					return nil, err
+				}
+				best, ok := r.Best()
+				if !ok {
+					return nil, fmt.Errorf("experiments: no SIMD choice in mixed study")
+				}
+				return []string{
+					fmt.Sprintf("%.0f%%", uf*100),
+					fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+					fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
+					fmt.Sprintf("%.2fx", r.Speedup(best)),
+				}, nil
+			},
 		}
-		best, ok := r.Best()
-		if !ok {
-			return nil, fmt.Errorf("experiments: no SIMD choice in mixed study")
-		}
-		t.AddRow(fmt.Sprintf("%.0f%%", uf*100),
-			fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-			fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
-			fmt.Sprintf("%.2fx", r.Speedup(best)))
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -104,27 +135,42 @@ func AMACStudy(o Options) (*report.Table, error) {
 	m := arch.SkylakeClusterA()
 	t := report.NewTable("Extension: scalar vs AMAC (group prefetching) vs SIMD, 3-way cuckoo HT, uniform",
 		"HT Size", "Scalar M/s", "AMAC M/s", "Best SIMD M/s", "AMAC/Scalar", "SIMD/AMAC")
-	for _, sz := range []int{256 << 10, 4 << 20, 64 << 20} {
-		r, err := core.Run(core.Params{
-			Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32, WithAMAC: true,
-			TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
-			Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, err
+	sizes := []int{256 << 10, 4 << 20, 64 << 20}
+	jobs := make([]sweep.Job[[]string], len(sizes))
+	for i, sz := range sizes {
+		sz := sz
+		jobs[i] = sweep.Job[[]string]{
+			Label: fmt.Sprintf("amac %s", sizeLabel(sz)),
+			Run: func() ([]string, error) {
+				r, err := core.Run(core.Params{
+					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32, WithAMAC: true,
+					TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
+					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				best, _ := r.Best()
+				label := fmt.Sprintf("%d KB", sz>>10)
+				if sz >= 1<<20 {
+					label = fmt.Sprintf("%d MB", sz>>20)
+				}
+				return []string{
+					label,
+					fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
+					fmt.Sprintf("%.1f", r.AMAC.LookupsPerSec/1e6),
+					fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
+					fmt.Sprintf("%.2fx", r.AMAC.LookupsPerSec/r.Scalar.LookupsPerSec),
+					fmt.Sprintf("%.2fx", best.LookupsPerSec/r.AMAC.LookupsPerSec),
+				}, nil
+			},
 		}
-		best, _ := r.Best()
-		label := fmt.Sprintf("%d KB", sz>>10)
-		if sz >= 1<<20 {
-			label = fmt.Sprintf("%d MB", sz>>20)
-		}
-		t.AddRow(label,
-			fmt.Sprintf("%.1f", r.Scalar.LookupsPerSec/1e6),
-			fmt.Sprintf("%.1f", r.AMAC.LookupsPerSec/1e6),
-			fmt.Sprintf("%.1f", best.LookupsPerSec/1e6),
-			fmt.Sprintf("%.2fx", r.AMAC.LookupsPerSec/r.Scalar.LookupsPerSec),
-			fmt.Sprintf("%.2fx", best.LookupsPerSec/r.AMAC.LookupsPerSec))
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }
 
@@ -134,40 +180,56 @@ func AMACStudy(o Options) (*report.Table, error) {
 // interesting prediction: on Zen 2 the vertical approach loses most of its
 // edge — gathers decompose into scalar loads — so the horizontal BCHT
 // becomes the design of choice, inverting the paper's Skylake guidance.
+// Each architecture is one sweep job running both recommended designs.
 func EmergingArchitectures(o Options) (*report.Table, error) {
 	o = o.withDefaults()
 	t := report.NewTable("Extension: the recommended designs on emerging architectures (1MB HT, uniform, LF=90%)",
 		"Arch", "Scalar M/s", "(2,4) Hor M/s", "3-way Ver M/s", "Hor speedup", "Ver speedup", "Best")
-	for _, m := range []*arch.Model{arch.SkylakeClusterA(), arch.CascadeLake(), arch.IceLake(), arch.Zen2()} {
-		hor, err := core.Run(core.Params{
-			Arch: m, N: 2, M: 4, KeyBits: 32, ValBits: 32,
-			TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
-			Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, err
+	models := []*arch.Model{arch.SkylakeClusterA(), arch.CascadeLake(), arch.IceLake(), arch.Zen2()}
+	jobs := make([]sweep.Job[[]string], len(models))
+	for i, m := range models {
+		m := m
+		jobs[i] = sweep.Job[[]string]{
+			Label: fmt.Sprintf("arches %s", m.Name),
+			Run: func() ([]string, error) {
+				hor, err := core.Run(core.Params{
+					Arch: m, N: 2, M: 4, KeyBits: 32, ValBits: 32,
+					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
+					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				ver, err := core.Run(core.Params{
+					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
+					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
+					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				hBest, _ := hor.Best()
+				vBest, _ := ver.Best()
+				best := "vertical"
+				if hBest.LookupsPerSec > vBest.LookupsPerSec {
+					best = "horizontal"
+				}
+				return []string{
+					m.Name,
+					fmt.Sprintf("%.1f", hor.Scalar.LookupsPerSec/1e6),
+					fmt.Sprintf("%.1f", hBest.LookupsPerSec/1e6),
+					fmt.Sprintf("%.1f", vBest.LookupsPerSec/1e6),
+					fmt.Sprintf("%.2fx", hor.Speedup(hBest)),
+					fmt.Sprintf("%.2fx", ver.Speedup(vBest)),
+					best,
+				}, nil
+			},
 		}
-		ver, err := core.Run(core.Params{
-			Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
-			TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
-			Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		hBest, _ := hor.Best()
-		vBest, _ := ver.Best()
-		best := "vertical"
-		if hBest.LookupsPerSec > vBest.LookupsPerSec {
-			best = "horizontal"
-		}
-		t.AddRow(m.Name,
-			fmt.Sprintf("%.1f", hor.Scalar.LookupsPerSec/1e6),
-			fmt.Sprintf("%.1f", hBest.LookupsPerSec/1e6),
-			fmt.Sprintf("%.1f", vBest.LookupsPerSec/1e6),
-			fmt.Sprintf("%.2fx", hor.Speedup(hBest)),
-			fmt.Sprintf("%.2fx", ver.Speedup(vBest)),
-			best)
 	}
+	rows, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
 	return t, nil
 }

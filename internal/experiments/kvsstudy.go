@@ -10,6 +10,7 @@ import (
 	"simdhtbench/internal/memslap"
 	"simdhtbench/internal/netsim"
 	"simdhtbench/internal/report"
+	"simdhtbench/internal/sweep"
 )
 
 // KVSOptions sizes the Section VI key-value-store validation. Zero values
@@ -22,6 +23,16 @@ type KVSOptions struct {
 	Requests int   // measured Multi-Gets per configuration (default 3000)
 	Batches  []int // Multi-Get sizes (default 16, 64)
 	Seed     int64
+
+	// Parallel is the sweep worker count for fanning out (batch, backend)
+	// configurations: 0 = all cores, 1 = sequential. Each job builds its own
+	// discrete-event simulation, fabric, item store and server (with that
+	// server's per-worker engines), so results are bit-identical at every
+	// setting.
+	Parallel int
+
+	// OnSweep, when non-nil, observes sweep timing stats (CLI -sweepstats).
+	OnSweep func(*sweep.Stats)
 }
 
 func (o KVSOptions) withDefaults() KVSOptions {
@@ -109,22 +120,52 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 	})
 }
 
+// kvsSweep fans one memslap run per (batch, backend) pair out across the
+// sweep pool and returns results indexed [batch][backend], in the order of
+// o.Batches and KVSBackends(). Every job is hermetic: it builds its own
+// simulation clock, network fabric, item store, index and server, so the
+// fan-out changes nothing about the simulated numbers.
+func kvsSweep(o KVSOptions, etc bool) ([][]memslap.Results, error) {
+	backends := KVSBackends()
+	var jobs []sweep.Job[memslap.Results]
+	for _, batch := range o.Batches {
+		for _, backend := range backends {
+			batch, backend := batch, backend
+			jobs = append(jobs, sweep.Job[memslap.Results]{
+				Label: fmt.Sprintf("kvs %s b=%d", backend, batch),
+				Run: func() (memslap.Results, error) {
+					return runKVSWith(backend, batch, o, etc)
+				},
+			})
+		}
+	}
+	flat, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]memslap.Results, len(o.Batches))
+	for i := range out {
+		out[i] = flat[i*len(backends) : (i+1)*len(backends)]
+	}
+	return out, nil
+}
+
 // Fig11a reproduces Fig. 11a: end-to-end Multi-Get latency and server-side
 // Get throughput (throughput of the hash-table-lookup phase, as the paper
 // measures it) for MemC3 vs the two SIMD-aware backends.
 func Fig11a(o KVSOptions) (*report.Table, error) {
 	o = o.withDefaults()
+	results, err := kvsSweep(o, false)
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Fig. 11a: RDMA-Memcached Multi-Get — end-to-end latency & server-side Get throughput",
 		"Batch", "Backend", "E2E avg (us)", "E2E p99 (us)", "Server Get thr (M/s)", "Thr vs MemC3", "Lat gain vs MemC3")
-	for _, batch := range o.Batches {
+	for bi, batch := range o.Batches {
 		var baseThr, baseLat float64
-		for _, backend := range KVSBackends() {
-			res, err := RunKVS(backend, batch, o)
-			if err != nil {
-				return nil, err
-			}
+		for i, res := range results[bi] {
 			lookupThr := float64(batch) / res.Breakdown.Lookup
-			if backend == "memc3" {
+			if i == 0 { // memc3 leads KVSBackends()
 				baseThr, baseLat = lookupThr, res.AvgLatency
 			}
 			t.AddRow(batch, res.Backend,
@@ -143,17 +184,17 @@ func Fig11a(o KVSOptions) (*report.Table, error) {
 // sub-phases of the server data access phase.
 func Fig11b(o KVSOptions) (*report.Table, error) {
 	o = o.withDefaults()
+	results, err := kvsSweep(o, false)
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Fig. 11b: server-side per-batch phase breakdown",
 		"Batch", "Backend", "Pre (us)", "Lookup (us)", "Post (us)", "Data access (us)", "vs MemC3")
-	for _, batch := range o.Batches {
+	for bi, batch := range o.Batches {
 		var base float64
-		for _, backend := range KVSBackends() {
-			res, err := RunKVS(backend, batch, o)
-			if err != nil {
-				return nil, err
-			}
+		for i, res := range results[bi] {
 			total := res.Breakdown.Total()
-			if backend == "memc3" {
+			if i == 0 {
 				base = total
 			}
 			t.AddRow(batch, res.Backend,
@@ -175,17 +216,17 @@ func Fig11b(o KVSOptions) (*report.Table, error) {
 // Fig. 11; the study quantifies by how much.
 func ETCStudy(o KVSOptions) (*report.Table, error) {
 	o = o.withDefaults()
+	results, err := kvsSweep(o, true)
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Extension: Multi-Get with Facebook-ETC item sizes",
 		"Batch", "Backend", "E2E avg (us)", "Server Get thr (M/s)", "Thr vs MemC3")
-	for _, batch := range o.Batches {
+	for bi, batch := range o.Batches {
 		var base float64
-		for _, backend := range KVSBackends() {
-			res, err := runKVSWith(backend, batch, o, true)
-			if err != nil {
-				return nil, err
-			}
+		for i, res := range results[bi] {
 			lookupThr := float64(batch) / res.Breakdown.Lookup
-			if backend == "memc3" {
+			if i == 0 {
 				base = lookupThr
 			}
 			t.AddRow(batch, res.Backend,
@@ -203,48 +244,67 @@ func ETCStudy(o KVSOptions) (*report.Table, error) {
 // the fan-out maximum. More servers raise aggregate throughput but shrink
 // per-server sub-batches, eroding the batching that makes SIMD lookups and
 // network transfers efficient — the classic multiget-hole trade-off.
+// Each (servers, batch) point is one sweep job owning its whole simulated
+// cluster.
 func ClusterStudy(o KVSOptions) (*report.Table, error) {
 	o = o.withDefaults()
-	t := report.NewTable("Extension: Multi-Get across a consistent-hashing cluster (vertical AVX-512 backend)",
-		"Servers", "Batch", "Agg. thr (Mkeys/s)", "E2E avg (us)", "E2E p99 (us)", "Avg fanout")
+	type point struct {
+		nservers, batch int
+	}
+	var points []point
 	for _, nservers := range []int{1, 2, 4} {
 		for _, batch := range o.Batches {
-			sim := des.New()
-			fabric := netsim.New(sim, netsim.EDR())
-			ring, err := kvs.NewRing(nservers, 0)
-			if err != nil {
-				return nil, err
-			}
-			servers := make([]*kvs.Server, nservers)
-			for i := range servers {
-				space := mem.NewAddressSpace()
-				store := kvs.NewItemStore(space)
-				idx, err := kvs.NewVerticalIndex(space, o.Items/nservers+o.Items/4, 256, o.Seed+int64(i))
-				if err != nil {
-					return nil, err
-				}
-				servers[i] = kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, 256, idx, store)
-			}
-			keys, err := memslap.LoadCluster(servers, ring, o.Items, 20, 32)
-			if err != nil {
-				return nil, err
-			}
-			res, err := memslap.RunCluster(sim, fabric, servers, ring, keys, memslap.Config{
-				Clients:   o.Clients,
-				BatchSize: batch,
-				Requests:  o.Requests,
-				KeyBytes:  20,
-				Seed:      o.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(nservers, batch,
-				fmt.Sprintf("%.1f", res.ThroughputKeys/1e6),
-				fmt.Sprintf("%.1f", res.AvgLatency*1e6),
-				fmt.Sprintf("%.1f", res.P99Latency*1e6),
-				fmt.Sprintf("%.2f", res.AvgFanout))
+			points = append(points, point{nservers, batch})
 		}
+	}
+	jobs := make([]sweep.Job[memslap.ClusterResults], len(points))
+	for i, pt := range points {
+		pt := pt
+		jobs[i] = sweep.Job[memslap.ClusterResults]{
+			Label: fmt.Sprintf("cluster s=%d b=%d", pt.nservers, pt.batch),
+			Run: func() (memslap.ClusterResults, error) {
+				sim := des.New()
+				fabric := netsim.New(sim, netsim.EDR())
+				ring, err := kvs.NewRing(pt.nservers, 0)
+				if err != nil {
+					return memslap.ClusterResults{}, err
+				}
+				servers := make([]*kvs.Server, pt.nservers)
+				for i := range servers {
+					space := mem.NewAddressSpace()
+					store := kvs.NewItemStore(space)
+					idx, err := kvs.NewVerticalIndex(space, o.Items/pt.nservers+o.Items/4, 256, o.Seed+int64(i))
+					if err != nil {
+						return memslap.ClusterResults{}, err
+					}
+					servers[i] = kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, 256, idx, store)
+				}
+				keys, err := memslap.LoadCluster(servers, ring, o.Items, 20, 32)
+				if err != nil {
+					return memslap.ClusterResults{}, err
+				}
+				return memslap.RunCluster(sim, fabric, servers, ring, keys, memslap.Config{
+					Clients:   o.Clients,
+					BatchSize: pt.batch,
+					Requests:  o.Requests,
+					KeyBytes:  20,
+					Seed:      o.Seed,
+				})
+			},
+		}
+	}
+	results, err := fanOut(o.Parallel, o.OnSweep, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Extension: Multi-Get across a consistent-hashing cluster (vertical AVX-512 backend)",
+		"Servers", "Batch", "Agg. thr (Mkeys/s)", "E2E avg (us)", "E2E p99 (us)", "Avg fanout")
+	for i, res := range results {
+		t.AddRow(points[i].nservers, points[i].batch,
+			fmt.Sprintf("%.1f", res.ThroughputKeys/1e6),
+			fmt.Sprintf("%.1f", res.AvgLatency*1e6),
+			fmt.Sprintf("%.1f", res.P99Latency*1e6),
+			fmt.Sprintf("%.2f", res.AvgFanout))
 	}
 	return t, nil
 }

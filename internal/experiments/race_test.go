@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn gates the experiment-driver tests that spend their time
+// filling multi-MB tables on a single goroutine: under -race they run ~10x
+// slower while exercising no concurrency the cheaper tests (and the
+// determinism fan-outs) don't already cover, and together they would push
+// the package past go test's default 10-minute timeout.
+const raceDetectorOn = true

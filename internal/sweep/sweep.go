@@ -1,0 +1,149 @@
+// Package sweep runs independent experiment configurations across a pool
+// of worker goroutines and merges the results back in canonical order.
+//
+// Every experiment table in this repository is a sweep over configurations
+// (layouts, table sizes, access patterns, backends) whose runs share no
+// simulated state: each job builds its own engine.Engine, mem.AddressSpace
+// and seeded RNGs. The runner exploits that independence for wall-clock
+// speed while keeping the results — and therefore the rendered tables —
+// bit-identical to a sequential loop:
+//
+//   - results are returned indexed by job position, not completion order;
+//   - errors are reported for the lowest-indexed failing job, matching the
+//     error a sequential loop would surface first;
+//   - with Workers == 1 the jobs run inline on the calling goroutine, which
+//     is exactly the pre-sweep sequential behaviour.
+//
+// Per-job queue and wall-clock timings are collected into a Stats value
+// that renders as a report.Table, so the parallel speedup is observable
+// (see the -sweepstats flag of cmd/simdhtbench and cmd/kvsbench).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"simdhtbench/internal/report"
+)
+
+// Job is one independent unit of a sweep: a closure producing a value, plus
+// a label for the timing report.
+type Job[T any] struct {
+	Label string
+	Run   func() (T, error)
+}
+
+// JobStat records how one job moved through the pool.
+type JobStat struct {
+	Index  int           // canonical position in the sweep
+	Label  string        // Job.Label
+	Worker int           // worker goroutine that executed the job
+	Queue  time.Duration // sweep start → job start (time spent queued)
+	Wall   time.Duration // job start → job finish
+}
+
+// Stats describes one sweep: the pool shape, the total elapsed wall clock,
+// and the per-job timings in canonical order.
+type Stats struct {
+	Workers int
+	Elapsed time.Duration
+	Jobs    []JobStat
+}
+
+// SerialWall returns the summed per-job wall time — the time a sequential
+// loop over the same jobs would have taken.
+func (s *Stats) SerialWall() time.Duration {
+	var total time.Duration
+	for _, j := range s.Jobs {
+		total += j.Wall
+	}
+	return total
+}
+
+// Speedup returns SerialWall divided by the observed elapsed time.
+func (s *Stats) Speedup() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.SerialWall()) / float64(s.Elapsed)
+}
+
+// Table renders the per-job timings as a report table.
+func (s *Stats) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Sweep: %d jobs on %d workers, %.1f ms elapsed (serial %.1f ms, speedup %.2fx)",
+			len(s.Jobs), s.Workers,
+			s.Elapsed.Seconds()*1e3, s.SerialWall().Seconds()*1e3, s.Speedup()),
+		"#", "Job", "Worker", "Queue (ms)", "Wall (ms)")
+	for _, j := range s.Jobs {
+		t.AddRow(j.Index, j.Label, j.Worker,
+			fmt.Sprintf("%.2f", j.Queue.Seconds()*1e3),
+			fmt.Sprintf("%.2f", j.Wall.Seconds()*1e3))
+	}
+	return t
+}
+
+// Run executes the jobs on a pool of `workers` goroutines and returns their
+// results in job order. workers <= 0 uses GOMAXPROCS; workers == 1 runs the
+// jobs inline, sequentially, on the calling goroutine.
+//
+// All jobs run to completion even when some fail, so the returned error —
+// that of the lowest-indexed failing job — does not depend on scheduling.
+func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	stats := &Stats{Workers: workers, Jobs: make([]JobStat, len(jobs))}
+	start := time.Now()
+
+	exec := func(i, worker int) {
+		st := &stats.Jobs[i]
+		st.Index, st.Label, st.Worker = i, jobs[i].Label, worker
+		t0 := time.Now()
+		st.Queue = t0.Sub(start)
+		results[i], errs[i] = jobs[i].Run()
+		st.Wall = time.Since(t0)
+	}
+
+	if workers == 1 {
+		for i := range jobs {
+			exec(i, 0)
+		}
+	} else {
+		queue := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for i := range queue {
+					exec(i, worker)
+				}
+			}(w)
+		}
+		for i := range jobs {
+			queue <- i
+		}
+		close(queue)
+		wg.Wait()
+	}
+	stats.Elapsed = time.Since(start)
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Label, err)
+		}
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,238 @@
+package vec
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Property tests: every lane op is checked against a straight-line scalar
+// reference over randomized inputs, across all three vector widths and all
+// three lane sizes. The references below deliberately avoid the package's
+// own helpers (lane extraction goes through ToLanes once, arithmetic is
+// plain uint64 math), so a masking or byte-order slip in the kernel cannot
+// cancel itself out in the check.
+
+var widths = []int{128, 256, 512}
+var laneSizes = []int{16, 32, 64}
+
+func randLanes(rng *rand.Rand, bits, laneBits int) []uint64 {
+	n := NumLanes(bits, laneBits)
+	mask := uint64(1)<<laneBits - 1
+	if laneBits == 64 {
+		mask = ^uint64(0)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		v := rng.Uint64()
+		// Bias toward collisions so CmpEq sees plenty of equal lanes.
+		if rng.Float64() < 0.3 {
+			v = uint64(rng.Intn(4))
+		}
+		out[i] = v & mask
+	}
+	return out
+}
+
+func forAllShapes(t *testing.T, fn func(t *testing.T, rng *rand.Rand, w, lb int)) {
+	t.Helper()
+	for _, w := range widths {
+		for _, lb := range laneSizes {
+			rng := rand.New(rand.NewSource(int64(w*1000 + lb)))
+			for trial := 0; trial < 50; trial++ {
+				fn(t, rng, w, lb)
+			}
+		}
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		lanes := randLanes(rng, w, lb)
+		v := FromLanes(w, lb, lanes)
+		got := v.ToLanes(lb)
+		for i := range lanes {
+			if got[i] != lanes[i] {
+				t.Fatalf("w=%d lb=%d lane %d: round-trip %#x != %#x", w, lb, i, got[i], lanes[i])
+			}
+			if one := v.Lane(lb, i); one != lanes[i] {
+				t.Fatalf("w=%d lb=%d lane %d: Lane() %#x != %#x", w, lb, i, one, lanes[i])
+			}
+		}
+	})
+}
+
+func TestPropWithLane(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		lanes := randLanes(rng, w, lb)
+		v := FromLanes(w, lb, lanes)
+		i := rng.Intn(len(lanes))
+		nv := randLanes(rng, w, lb)[0]
+		v2 := v.WithLane(lb, i, nv)
+		for j, want := range lanes {
+			if j == i {
+				want = nv
+			}
+			if got := v2.Lane(lb, j); got != want {
+				t.Fatalf("w=%d lb=%d WithLane(%d): lane %d = %#x, want %#x", w, lb, i, j, got, want)
+			}
+			// The receiver is a value; the original must be untouched.
+			if got := v.Lane(lb, j); got != lanes[j] {
+				t.Fatalf("w=%d lb=%d WithLane mutated the receiver at lane %d", w, lb, j)
+			}
+		}
+	})
+}
+
+func TestPropSet1(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		val := randLanes(rng, w, lb)[0]
+		v := Set1(w, lb, val)
+		for i := 0; i < NumLanes(w, lb); i++ {
+			if got := v.Lane(lb, i); got != val {
+				t.Fatalf("w=%d lb=%d Set1 lane %d = %#x, want %#x", w, lb, i, got, val)
+			}
+		}
+	})
+}
+
+func TestPropCmpEq(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		la, lc := randLanes(rng, w, lb), randLanes(rng, w, lb)
+		m := CmpEq(lb, FromLanes(w, lb, la), FromLanes(w, lb, lc))
+		var want Mask
+		for i := range la {
+			if la[i] == lc[i] {
+				want |= 1 << i
+			}
+		}
+		if m != want {
+			t.Fatalf("w=%d lb=%d CmpEq = %b, want %b (a=%x b=%x)", w, lb, m, want, la, lc)
+		}
+	})
+}
+
+func TestPropBlend(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		la, lc := randLanes(rng, w, lb), randLanes(rng, w, lb)
+		m := Mask(rng.Uint32()) & LaneMaskAll(NumLanes(w, lb))
+		v := Blend(lb, m, FromLanes(w, lb, la), FromLanes(w, lb, lc))
+		for i := range la {
+			want := la[i]
+			if m.Test(i) {
+				want = lc[i]
+			}
+			if got := v.Lane(lb, i); got != want {
+				t.Fatalf("w=%d lb=%d Blend(%b) lane %d = %#x, want %#x", w, lb, m, i, got, want)
+			}
+		}
+	})
+}
+
+func TestPropAdd(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		la, lc := randLanes(rng, w, lb), randLanes(rng, w, lb)
+		v := Add(lb, FromLanes(w, lb, la), FromLanes(w, lb, lc))
+		mask := uint64(1)<<lb - 1
+		if lb == 64 {
+			mask = ^uint64(0)
+		}
+		for i := range la {
+			// Lane-local wraparound: carries must not cross lanes.
+			if got, want := v.Lane(lb, i), (la[i]+lc[i])&mask; got != want {
+				t.Fatalf("w=%d lb=%d Add lane %d = %#x, want %#x", w, lb, i, got, want)
+			}
+		}
+	})
+}
+
+func TestPropMulLo(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		la, lc := randLanes(rng, w, lb), randLanes(rng, w, lb)
+		v := MulLo(lb, FromLanes(w, lb, la), FromLanes(w, lb, lc))
+		mask := uint64(1)<<lb - 1
+		if lb == 64 {
+			mask = ^uint64(0)
+		}
+		for i := range la {
+			if got, want := v.Lane(lb, i), (la[i]*lc[i])&mask; got != want {
+				t.Fatalf("w=%d lb=%d MulLo lane %d = %#x, want %#x", w, lb, i, got, want)
+			}
+		}
+	})
+}
+
+func TestPropShiftRight(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		la := randLanes(rng, w, lb)
+		n := uint(rng.Intn(lb))
+		v := ShiftRight(lb, FromLanes(w, lb, la), n)
+		for i := range la {
+			// Logical shift: zeros shift in; bits of the neighboring lane
+			// must not.
+			if got, want := v.Lane(lb, i), la[i]>>n; got != want {
+				t.Fatalf("w=%d lb=%d ShiftRight(%d) lane %d = %#x, want %#x", w, lb, n, i, got, want)
+			}
+		}
+	})
+}
+
+func TestPropBitwise(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		la, lc := randLanes(rng, w, lb), randLanes(rng, w, lb)
+		a, b := FromLanes(w, lb, la), FromLanes(w, lb, lc)
+		vx, va := Xor(a, b), And(a, b)
+		for i := range la {
+			if got := vx.Lane(lb, i); got != la[i]^lc[i] {
+				t.Fatalf("w=%d lb=%d Xor lane %d = %#x, want %#x", w, lb, i, got, la[i]^lc[i])
+			}
+			if got := va.Lane(lb, i); got != la[i]&lc[i] {
+				t.Fatalf("w=%d lb=%d And lane %d = %#x, want %#x", w, lb, i, got, la[i]&lc[i])
+			}
+		}
+	})
+}
+
+func TestPropBytesRoundTrip(t *testing.T) {
+	forAllShapes(t, func(t *testing.T, rng *rand.Rand, w, lb int) {
+		lanes := randLanes(rng, w, lb)
+		v := FromLanes(w, lb, lanes)
+		v2 := FromBytes(w, v.ToBytes())
+		for i := range lanes {
+			if v2.Lane(lb, i) != lanes[i] {
+				t.Fatalf("w=%d lb=%d byte round-trip broke lane %d", w, lb, i)
+			}
+		}
+	})
+}
+
+// TestPropMask checks the movemask-style Mask accessors against popcount /
+// trailing-zero references on random masks.
+func TestPropMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(32)
+		m := Mask(rng.Uint32()) & LaneMaskAll(n)
+		if got, want := m.Count(), bits.OnesCount32(uint32(m)); got != want {
+			t.Fatalf("Mask(%b).Count() = %d, want %d", m, got, want)
+		}
+		wantFirst := -1
+		if m != 0 {
+			wantFirst = bits.TrailingZeros32(uint32(m))
+		}
+		if got := m.FirstSet(); got != wantFirst {
+			t.Fatalf("Mask(%b).FirstSet() = %d, want %d", m, got, wantFirst)
+		}
+		if m.None() != (m == 0) {
+			t.Fatalf("Mask(%b).None() inconsistent", m)
+		}
+		for i := 0; i < n; i++ {
+			if m.Test(i) != (m&(1<<i) != 0) {
+				t.Fatalf("Mask(%b).Test(%d) inconsistent", m, i)
+			}
+		}
+	}
+	if got := LaneMaskAll(8); got != 0xff {
+		t.Fatalf("LaneMaskAll(8) = %#x", got)
+	}
+}
