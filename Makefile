@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: build test race vet check clean
+.PHONY: build test race vet lint check clean
 
 # The tier-1 gate: everything CI (and a reviewer) needs to trust a change.
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: charging, determinism and vec-lane
+# discipline (see internal/lint). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/simdhtlint -C .
 
 clean:
 	$(GO) clean ./...

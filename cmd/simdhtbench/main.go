@@ -274,10 +274,16 @@ func breakdownTable(r *core.Result) *report.Table {
 			cy float64
 		}
 		var ops []kv
+		//lint:ignore determlint order is canonicalized by the total sort below before anything is rendered
 		for op, cy := range m.OpCycles {
 			ops = append(ops, kv{op, cy})
 		}
-		sort.Slice(ops, func(i, j int) bool { return ops[i].cy > ops[j].cy })
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].cy != ops[j].cy {
+				return ops[i].cy > ops[j].cy
+			}
+			return ops[i].op < ops[j].op
+		})
 		var parts []string
 		for i, o := range ops {
 			if i >= 4 || o.cy < 0.05 {

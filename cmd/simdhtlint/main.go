@@ -1,0 +1,49 @@
+// Command simdhtlint runs the project's static-analysis suite (chargelint,
+// determlint, veclint — see internal/lint) over the module and exits
+// non-zero if any diagnostic survives //lint:ignore suppression.
+//
+// Usage:
+//
+//	simdhtlint [-C dir]
+//
+// -C names any directory inside the module; the module root is located by
+// walking up to go.mod.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdhtbench/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simdhtlint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simdhtlint: %v\n", err)
+		os.Exit(2)
+	}
+	mod, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simdhtlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(mod, lint.All())
+	for _, d := range diags {
+		fmt.Println(d.Render(root))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simdhtlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

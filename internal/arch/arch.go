@@ -28,6 +28,11 @@ const (
 	WidthAVX512 = 512
 )
 
+// SlotEmptyCheckCycles is the per-slot cost of testing a bucket slot for
+// emptiness during the BFS eviction search: one dependent load-compare pair
+// that the out-of-order window largely overlaps.
+const SlotEmptyCheckCycles = 2.0
+
 // OpClass enumerates the operation classes the execution engine charges.
 type OpClass int
 

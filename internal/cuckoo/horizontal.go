@@ -129,6 +129,7 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 				} else {
 					// vec_reduce: extract the matching payload lane.
 					e.Reduce(cfg.Width)
+					//lint:ignore chargelint payload lane is already resident: loadBuckets charged the full key+payload bucket via MemAccess
 					v = t.valAt(b, slot)
 				}
 				e.StreamStore(res.Arena, res.Off(from+q), vb, v)
@@ -158,6 +159,7 @@ func (t *Table) loadBuckets(e *engine.Engine, width int, offs []int, bucketBytes
 			e.Charge(arch.OpVecShuffle, width)
 		}
 		e.MemAccess(t.Arena.Addr(off), bucketBytes)
+		//lint:ignore chargelint data transfer of the access charged by the MemAccess on the line above
 		copy(buf[i*bucketBytes:], t.Arena.Bytes(off, bucketBytes))
 	}
 	_ = pad

@@ -27,6 +27,7 @@ func (t *Table) InsertCharged(e *engine.Engine, key, val uint64) error {
 			e.Charge(arch.OpScalarLoadOp, arch.WidthScalar)
 			e.MemAccess(t.Arena.Addr(t.L.slotOff(b, s)), t.L.KeyBits/8)
 			e.ScalarCompare()
+			//lint:ignore chargelint slot read charged by the MemAccess two lines above
 			k := t.keyAt(b, s)
 			if k == key || k == 0 {
 				// Update in place or claim the empty slot: one store.
@@ -48,8 +49,8 @@ func (t *Table) InsertCharged(e *engine.Engine, key, val uint64) error {
 	// BFS frontier: every expanded node scanned one bucket's slots.
 	for n := 0; n < t.lastBFSNodes; n++ {
 		e.Charge(arch.OpScalarLoadOp, arch.WidthScalar)
-		e.MemAccess(t.Arena.Addr(0), 1)    // queue bookkeeping; negligible span
-		e.ChargeCycles(float64(t.L.M) * 2) // per-slot emptiness checks
+		e.MemAccess(t.Arena.Addr(0), 1) // queue bookkeeping; negligible span
+		e.ChargeCycles(float64(t.L.M) * arch.SlotEmptyCheckCycles)
 	}
 	// Relocations: read the victim, write it to its alternate bucket.
 	for _, mv := range t.lastMoves {

@@ -82,6 +82,7 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 		e.Charge(arch.OpVecLoad, cfg.Width)
 		e.StreamAccess(s.Arena.Addr(s.Off(from+lo)), size*kb/8)
 		for i := 0; i < size; i++ {
+			//lint:ignore chargelint key bytes charged by the StreamAccess above (one streaming load covers the whole group)
 			keys[i] = s.Key(from + lo + i)
 		}
 
@@ -133,6 +134,7 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 			}
 			if ok {
 				hits++
+				//lint:ignore chargelint result bytes charged by the StreamAccess above covering the group's payload span
 				res.Arena.WriteUint(res.Off(from+lo+i), vb, vals[i])
 			}
 		}

@@ -126,6 +126,7 @@ func (x *simdIndex) collect(e *engine.Engine, store *ItemStore, keys [][]byte, r
 		if !x.found[i] {
 			continue
 		}
+		//lint:ignore chargelint result lane charged by the lookup kernel's vec_store_val stream access
 		ref := uint32(x.results.Get(i))
 		if verifyKey(e, store, ref, keys[i]) {
 			refs[i] = ref
@@ -180,6 +181,7 @@ func (x *HorizontalIndex) Delete(_ *ItemStore, hash32 uint32, _ []byte) bool {
 
 // LookupBatch implements Index.
 func (x *HorizontalIndex) LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int {
+	//lint:ignore chargelint stage is the uncharged pre-process (parse) phase; lookup charging starts at the batch kernel
 	x.stage(hashes)
 	x.table.LookupHorizontalBatch(e, x.scratch, 0, len(hashes), x.cfg, x.results, x.found)
 	return x.collect(e, store, keys, refs)
@@ -226,6 +228,7 @@ func (x *VerticalIndex) Delete(_ *ItemStore, hash32 uint32, _ []byte) bool {
 
 // LookupBatch implements Index.
 func (x *VerticalIndex) LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int {
+	//lint:ignore chargelint stage is the uncharged pre-process (parse) phase; lookup charging starts at the batch kernel
 	x.stage(hashes)
 	x.table.LookupVerticalBatch(e, x.scratch, 0, len(hashes), x.cfg, x.results, x.found)
 	return x.collect(e, store, keys, refs)

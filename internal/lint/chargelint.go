@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChargeLint enforces the completeness of the cost-accounting path: inside a
+// charged kernel — any function under internal/cuckoo or internal/kvs that
+// has an *engine.Engine in scope — every touch of simulated memory must be
+// billed through the engine. Three things trip it:
+//
+//  1. direct mem.Arena data access (ReadUint, Bytes, Write64, ...), which
+//     moves simulated bytes without charging the cache model;
+//  2. calls to "uncharged accessors" — functions anywhere in the module
+//     that perform raw arena access themselves and have no engine to charge
+//     it to (e.g. Table.keyAt, Stream.Key). These are legitimate on native
+//     (uncharged) paths, but calling them from a charged kernel silently
+//     drops memory traffic from the bill;
+//  3. engine.ChargeCycles with a magic numeric literal in its argument; the
+//     cost tables live in internal/arch and costs must be named constants so
+//     calibration stays reviewable in one place.
+//
+// Raw accesses whose cycles are genuinely charged elsewhere (e.g. the data
+// transfer of an access charged via MemAccess on the line above) carry a
+// //lint:ignore chargelint annotation with the reason.
+var ChargeLint = &Analyzer{
+	Name: "chargelint",
+	Doc:  "charged kernels must bill all simulated-memory traffic through the engine",
+	Run:  runChargeLint,
+}
+
+var chargeScope = []string{
+	"simdhtbench/internal/cuckoo",
+	"simdhtbench/internal/kvs",
+}
+
+// arenaDataMethods are the mem.Arena methods that read or write simulated
+// bytes. Addr/Base/Size are address arithmetic, not data movement, and are
+// exempt.
+var arenaDataMethods = map[string]bool{
+	"Bytes":    true,
+	"ReadUint": true, "WriteUint": true,
+	"Read16": true, "Read32": true, "Read64": true,
+	"Write16": true, "Write32": true, "Write64": true,
+	"Zero": true,
+}
+
+func runChargeLint(pass *Pass) {
+	accessors := unchargedAccessors(pass.Universe)
+	for _, pkg := range pass.Module.Pkgs {
+		if !inScope(pkg.Path, chargeScope...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			eachFuncDecl(f, func(fd *ast.FuncDecl) {
+				if !referencesEngine(pkg, fd) {
+					return
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					checkChargedCall(pass, pkg, fd, call, accessors)
+					return true
+				})
+			})
+		}
+	}
+}
+
+func checkChargedCall(pass *Pass, pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, accessors map[types.Object]bool) {
+	if name, _, ok := methodCall(pkg, call, memPkgPath, "Arena"); ok && arenaDataMethods[name] {
+		pass.Reportf(call.Pos(),
+			"raw arena access Arena.%s in charged kernel %s bypasses the engine; charge it via MemAccess/ScalarLoad/StreamLoad/Gather or annotate why it is pre-charged",
+			name, fd.Name.Name)
+	}
+	if obj := calleeObject(pkg, call); obj != nil && accessors[obj] {
+		pass.Reportf(call.Pos(),
+			"call to uncharged accessor %s in charged kernel %s reads simulated memory without charging; use an engine-charged access or annotate why it is pre-charged",
+			obj.Name(), fd.Name.Name)
+	}
+	if name, _, ok := methodCall(pkg, call, enginePkgPath, "Engine"); ok && name == "ChargeCycles" && len(call.Args) == 1 {
+		if lit := magicLiteral(call.Args[0]); lit != nil {
+			pass.Reportf(call.Pos(),
+				"ChargeCycles with magic literal %s; name the cost as a constant (the cost tables live in internal/arch)",
+				lit.Value)
+		}
+	}
+}
+
+// unchargedAccessors collects, across every loaded package, the functions
+// that directly perform raw arena data access and have no engine in scope.
+// The analysis is deliberately one level deep: a function that only calls
+// such accessors (e.g. the native Table.Insert) is not itself an accessor,
+// which is what lets InsertCharged wrap the functional path while charging
+// the equivalent work explicitly.
+func unchargedAccessors(universe []*Package) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, pkg := range universe {
+		if pkg.Path == memPkgPath {
+			continue // the arena API itself; its methods are the raw
+			// accesses, already reported directly at call sites
+		}
+		for _, f := range pkg.Files {
+			eachFuncDecl(f, func(fd *ast.FuncDecl) {
+				if referencesEngine(pkg, fd) {
+					return
+				}
+				direct := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if direct {
+						return false
+					}
+					if call, ok := n.(*ast.CallExpr); ok {
+						if name, _, ok := methodCall(pkg, call, memPkgPath, "Arena"); ok && arenaDataMethods[name] {
+							direct = true
+							return false
+						}
+					}
+					return true
+				})
+				if direct {
+					if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			})
+		}
+	}
+	return out
+}
+
+// magicLiteral returns the first numeric literal inside expr, skipping
+// literals used as index expressions (a[2] is not a cost).
+func magicLiteral(expr ast.Expr) *ast.BasicLit {
+	var found *ast.BasicLit
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			// Examine only the indexed operand, not the index itself.
+			ast.Inspect(n.X, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.BasicLit); ok && found == nil && (lit.Kind == token.INT || lit.Kind == token.FLOAT) {
+					found = lit
+				}
+				return found == nil
+			})
+			return false
+		case *ast.BasicLit:
+			if n.Kind == token.INT || n.Kind == token.FLOAT {
+				found = n
+			}
+		}
+		return found == nil
+	})
+	return found
+}

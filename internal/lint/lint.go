@@ -1,0 +1,206 @@
+// Package lint is a small stdlib-only static-analysis framework with
+// project-specific analyzers guarding the invariants the simulation's
+// scientific claims rest on:
+//
+//   - chargelint: in charged kernels (functions that use an
+//     *engine.Engine) under internal/cuckoo and internal/kvs, every read or
+//     write of simulated memory must be billed through the engine
+//     (MemAccess/ScalarLoad/StreamLoad/Gather/...), and ChargeCycles must
+//     take named cost constants, not magic literals.
+//   - determlint: experiment output must be byte-identical run to run and
+//     at any -parallel worker count, so internal/experiments, internal/sweep,
+//     internal/report and the cmd/ mains may not read the wall clock, use
+//     the globally-seeded math/rand functions, or range over maps.
+//   - veclint: internal/vec call sites must use legal register widths
+//     (128/256/512) and lane widths (16/32/64), and may not mix register
+//     widths or lane interpretations between operands, masks and ops.
+//
+// Analyzers run over non-test files only; tests are exempt by design (they
+// routinely read simulated memory raw to assert on it, and benchmark tests
+// time themselves).
+//
+// A diagnostic can be suppressed with a comment on its line or the line
+// directly above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, printable as "file:line: [analyzer] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic with the filename relative to root when
+// possible.
+func (d Diagnostic) Render(root string) string {
+	name := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", name, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+func (d Diagnostic) String() string { return d.Render("") }
+
+// Pass is the per-run context handed to an analyzer.
+type Pass struct {
+	Module   *Module
+	Universe []*Package
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{ChargeLint, DetermLint, VecLint}
+}
+
+// Run executes the analyzers over the module's packages, applies
+// //lint:ignore suppressions, and returns the surviving diagnostics sorted
+// by position. Suppressions lacking a reason are reported under the "lint"
+// analyzer name.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	universe := m.Universe()
+	for _, a := range analyzers {
+		pass := &Pass{Module: m, Universe: universe, analyzer: a, diags: &diags}
+		a.Run(pass)
+	}
+
+	supps, badSupps := collectSuppressions(m)
+	diags = append(diags, badSupps...)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(supps, d) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	// Dedupe identical findings (e.g. two operands of one call each tripping
+	// the same mismatch).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	line     int
+	analyzer string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans every file's comments for //lint:ignore
+// directives. Directives without a written reason are returned as
+// diagnostics instead of suppressions.
+func collectSuppressions(m *Module) (map[string][]suppression, []Diagnostic) {
+	supps := make(map[string][]suppression)
+	var bad []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "//lint:ignore requires an analyzer name and a written reason",
+						})
+						continue
+					}
+					supps[pos.Filename] = append(supps[pos.Filename], suppression{line: pos.Line, analyzer: fields[0]})
+				}
+			}
+		}
+	}
+	return supps, bad
+}
+
+func suppressed(supps map[string][]suppression, d Diagnostic) bool {
+	for _, s := range supps[d.Pos.Filename] {
+		if s.analyzer == d.Analyzer && (s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope reports whether the package path lies under one of the given
+// prefixes, segment-aware (prefix "a/b" matches "a/b" and "a/b/c", not
+// "a/bc").
+func inScope(path string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// eachFuncDecl visits every function declaration with a body in the file.
+func eachFuncDecl(f *ast.File, fn func(*ast.FuncDecl)) {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"simdhtbench/internal/lint"
+)
+
+// TestRealModuleClean is the regression gate: the committed tree must lint
+// clean — every finding either fixed or carrying a reasoned //lint:ignore.
+// A new raw arena access in a charged kernel, a wall-clock read in an
+// experiment, or a lane-width mix-up fails this test (and `make check`).
+func TestRealModuleClean(t *testing.T) {
+	loader, root := sharedLoader(t)
+	mod, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(mod.Pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module discovery is broken", len(mod.Pkgs))
+	}
+	for _, d := range lint.Run(mod, lint.All()) {
+		t.Errorf("%s", d.Render(root))
+	}
+}

@@ -1,0 +1,50 @@
+// Package lintcase is a chargelint test fixture: it is loaded under the
+// synthetic import path simdhtbench/internal/cuckoo/lintcase so that the
+// analyzer treats it as kernel code. Each "want" comment states the
+// diagnostic the harness expects on that line.
+package lintcase
+
+import (
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/mem"
+)
+
+const namedCost = 4.0
+
+// rawKeyAt is an uncharged accessor: direct arena data access, no engine.
+func rawKeyAt(a *mem.Arena, off int) uint64 {
+	return a.ReadUint(off, 64)
+}
+
+// addrOnly is not an accessor: address arithmetic is exempt.
+func addrOnly(a *mem.Arena, off int) uint64 {
+	return a.Addr(off)
+}
+
+// wrapper is not an accessor — the fact is one level deep by design, so
+// functional paths can be wrapped by kernels that charge the equivalent
+// work explicitly.
+func wrapper(a *mem.Arena, off int) uint64 {
+	return rawKeyAt(a, off)
+}
+
+func chargedKernel(e *engine.Engine, a *mem.Arena) uint64 {
+	v := a.ReadUint(0, 64)         // want `raw arena access Arena\.ReadUint in charged kernel chargedKernel`
+	v += rawKeyAt(a, 8)            // want `call to uncharged accessor rawKeyAt in charged kernel chargedKernel`
+	v += wrapper(a, 16)            // legal: wrapper is not itself an accessor
+	_ = addrOnly(a, 24)            // legal: address arithmetic
+	e.ChargeCycles(3)              // want `ChargeCycles with magic literal 3`
+	e.ChargeCycles(float64(2 * 8)) // want `ChargeCycles with magic literal 2`
+	e.ChargeCycles(namedCost)      // legal: named constant
+	v += e.ScalarLoad(a, 32, 64)   // legal: engine-charged access
+	//lint:ignore chargelint transfer of the access charged by the ScalarLoad on the line above
+	v += a.ReadUint(32, 64)
+	a.Write64(40, v) // want `raw arena access Arena\.Write64 in charged kernel chargedKernel`
+	return v
+}
+
+// nativePath has no engine in scope: raw access is the point of the
+// functional (uncharged) path and is not reported.
+func nativePath(a *mem.Arena) uint64 {
+	return a.ReadUint(0, 64)
+}

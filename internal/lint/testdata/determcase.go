@@ -1,0 +1,45 @@
+// Package lintcase is a determlint test fixture, loaded under the synthetic
+// import path simdhtbench/internal/experiments/lintcase so the analyzer
+// treats it as output-producing experiment code.
+package lintcase
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `wall-clock read time\.Now`
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+func profiledWallClock() time.Time {
+	//lint:ignore determlint profiling-only timing that never reaches golden output
+	return time.Now()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// seededRand is the sanctioned pattern: an explicitly-seeded generator whose
+// methods (not package functions) draw the stream.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func mapOrder(m map[string]int) []string {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	//lint:ignore determlint order is canonicalized by the sort below before any output
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

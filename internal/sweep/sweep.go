@@ -105,14 +105,17 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	stats := &Stats{Workers: workers, Jobs: make([]JobStat, len(jobs))}
+	//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
 	start := time.Now()
 
 	exec := func(i, worker int) {
 		st := &stats.Jobs[i]
 		st.Index, st.Label, st.Worker = i, jobs[i].Label, worker
+		//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
 		t0 := time.Now()
 		st.Queue = t0.Sub(start)
 		results[i], errs[i] = jobs[i].Run()
+		//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
 		st.Wall = time.Since(t0)
 	}
 
@@ -138,6 +141,7 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 		close(queue)
 		wg.Wait()
 	}
+	//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
 	stats.Elapsed = time.Since(start)
 
 	for i, err := range errs {

@@ -1,0 +1,30 @@
+#!/bin/sh
+# ci.sh — the full verification pipeline, runnable from a clean checkout:
+# formatting, go vet, the project's static-analysis suite (simdhtlint), and
+# the test suite with and without the race detector.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+$GO vet ./...
+
+echo "==> simdhtlint"
+$GO run ./cmd/simdhtlint -C .
+
+echo "==> go test"
+$GO test ./...
+
+echo "==> go test -race"
+$GO test -race ./...
+
+echo "==> ci.sh: all checks passed"
