@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check clean
+.PHONY: build test race vet lint check bench clean
 
 # The tier-1 gate: everything CI (and a reviewer) needs to trust a change.
 check: build vet lint test race
@@ -21,6 +21,11 @@ vet:
 # discipline (see internal/lint). Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/simdhtlint -C .
+
+# Root benchmark suite snapshot: writes BENCH_baseline.{txt,json} (see
+# scripts/bench.sh for knobs and the benchstat workflow).
+bench:
+	sh scripts/bench.sh
 
 clean:
 	$(GO) clean ./...

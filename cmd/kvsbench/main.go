@@ -9,6 +9,11 @@
 //
 // `single` runs one backend/batch combination (see -backend / -batch) and
 // prints the full result line.
+//
+// Observability: -trace out.json writes a Chrome trace_event file (virtual
+// time: the discrete-event simulation clock, in microseconds) and -metrics
+// out.csv writes the metrics registry; both are byte-identical across runs
+// at any -parallel setting.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"strings"
 
 	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 )
@@ -36,6 +42,9 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Int("parallel", 0, "sweep workers fanning configurations out (0 = all cores, 1 = sequential); output is identical at every setting")
 		sstats   = flag.Bool("sweepstats", false, "print per-job sweep timing to stderr after each experiment")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (virtual time = DES clock)")
+		metricsOut = flag.String("metrics", "", "write the metrics registry as CSV")
 	)
 	flag.Parse()
 
@@ -49,10 +58,12 @@ func main() {
 		Parallel: *parallel,
 	}
 	if *sstats {
-		opts.OnSweep = func(s *sweep.Stats) {
-			s.Table().Fprint(os.Stderr)
-			fmt.Fprintln(os.Stderr)
-		}
+		opts.OnSweep = printSweepStats
+	}
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
+		opts.Obs = col
 	}
 
 	args := flag.Args()
@@ -94,6 +105,45 @@ func main() {
 			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, single, all)", cmd))
 		}
 	}
+	check(writeObsArtifacts(col, *traceOut, *metricsOut))
+}
+
+// printSweepStats renders sweep wall-clock profiling to stderr through a
+// throwaway registry — profiling output never mixes into -metrics, which
+// must stay deterministic.
+func printSweepStats(s *sweep.Stats) {
+	reg := obs.NewRegistry()
+	s.Record(reg)
+	if err := reg.WriteText(os.Stderr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// writeObsArtifacts writes the trace JSON and metrics CSV files, when
+// requested, after all experiments have run.
+func writeObsArtifacts(col *obs.Collector, tracePath, metricsPath string) error {
+	if col == nil {
+		return nil
+	}
+	write := func(path string, render func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = render(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if err := write(tracePath, func(f *os.File) error { return col.Tracer.WriteJSON(f) }); err != nil {
+		return err
+	}
+	return write(metricsPath, func(f *os.File) error { return col.Registry.WriteCSV(f) })
 }
 
 func parseBatches(s string) []int {

@@ -15,6 +15,11 @@
 // `validate` prints the viable SIMD design choices for the layout given by
 // -n/-m/-keybits/-valbits/-size on the chosen -cpu. `run` additionally
 // measures them with the performance engine.
+//
+// Observability: -trace out.json writes a Chrome trace_event file (virtual
+// time: engine cycles) and -metrics out.csv writes the metrics registry;
+// both are byte-identical across runs at any -parallel setting. -keytrace
+// records/replays key traces (the flag was previously named -trace).
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
 	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
@@ -41,17 +47,20 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep workers fanning configurations out (0 = all cores, 1 = sequential); output is identical at every setting")
 		sstats   = flag.Bool("sweepstats", false, "print per-job sweep timing to stderr after each experiment")
 
-		n       = flag.Int("n", 2, "validate/run: number of hash functions (N)")
-		m       = flag.Int("m", 4, "validate/run: slots per bucket (m; 1 = non-bucketized)")
-		keyBits = flag.Int("keybits", 32, "validate/run: key width in bits (16/32/64)")
-		valBits = flag.Int("valbits", 32, "validate/run: payload width in bits (16/32/64)")
-		size    = flag.Int("size", 1<<20, "validate/run: hash table size in bytes")
-		pattern = flag.String("pattern", "uniform", "run: access pattern (uniform|skewed)")
-		hitRate = flag.Float64("hitrate", 0.9, "run: query hit rate")
-		lf      = flag.Float64("lf", 0.9, "run: target load factor")
-		cores   = flag.Int("cores", 0, "run: concurrent cores (0 = all)")
-		trace   = flag.String("trace", "", "run: replay a recorded key trace file instead of a generated pattern; record: output path")
-		brk     = flag.Bool("breakdown", false, "run: also print the per-op cycle breakdown of each variant")
+		n        = flag.Int("n", 2, "validate/run: number of hash functions (N)")
+		m        = flag.Int("m", 4, "validate/run: slots per bucket (m; 1 = non-bucketized)")
+		keyBits  = flag.Int("keybits", 32, "validate/run: key width in bits (16/32/64)")
+		valBits  = flag.Int("valbits", 32, "validate/run: payload width in bits (16/32/64)")
+		size     = flag.Int("size", 1<<20, "validate/run: hash table size in bytes")
+		pattern  = flag.String("pattern", "uniform", "run: access pattern (uniform|skewed)")
+		hitRate  = flag.Float64("hitrate", 0.9, "run: query hit rate")
+		lf       = flag.Float64("lf", 0.9, "run: target load factor")
+		cores    = flag.Int("cores", 0, "run: concurrent cores (0 = all)")
+		keytrace = flag.String("keytrace", "", "run: replay a recorded key trace file instead of a generated pattern; record: output path")
+		brk      = flag.Bool("breakdown", false, "run: also print the per-op cycle breakdown of each variant")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (virtual time = engine cycles)")
+		metricsOut = flag.String("metrics", "", "write the metrics registry as CSV")
 	)
 	flag.Parse()
 
@@ -61,10 +70,12 @@ func main() {
 	}
 	opts := experiments.Options{Queries: *queries, Seed: *seed, Parallel: *parallel}
 	if *sstats {
-		opts.OnSweep = func(s *sweep.Stats) {
-			s.Table().Fprint(os.Stderr)
-			fmt.Fprintln(os.Stderr)
-		}
+		opts.OnSweep = printSweepStats
+	}
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
+		opts.Obs = col
 	}
 
 	args := flag.Args()
@@ -146,9 +157,10 @@ func main() {
 				Arch: model, N: *n, M: *m, KeyBits: *keyBits, ValBits: *valBits,
 				TableBytes: *size, LoadFactor: *lf, HitRate: *hitRate,
 				Pattern: pat, Queries: *queries, Cores: *cores, Seed: *seed,
+				Obs: col.Scope("config", "run"),
 			}
-			if *trace != "" {
-				f, err := os.Open(*trace)
+			if *keytrace != "" {
+				f, err := os.Open(*keytrace)
 				check(err)
 				keys, err := workload.ReadTrace(f)
 				f.Close()
@@ -195,10 +207,10 @@ func main() {
 			check(err)
 			fmt.Printf("selftest: %d (configuration, variant) combinations agree with the native reference\n", checked)
 		case "record":
-			// Record the configured pattern's query stream to -trace for
+			// Record the configured pattern's query stream to -keytrace for
 			// later replay (a seed-stable capture of the workload).
-			if *trace == "" {
-				fatal(fmt.Errorf("record requires -trace <output path>"))
+			if *keytrace == "" {
+				fatal(fmt.Errorf("record requires -keytrace <output path>"))
 			}
 			pat := workload.Uniform
 			if *pattern == "skewed" {
@@ -212,18 +224,57 @@ func main() {
 				Pattern: pat, HitRate: *hitRate, KeyBits: *keyBits, Seed: *seed,
 			})
 			check(err)
-			f, err := os.Create(*trace)
+			f, err := os.Create(*keytrace)
 			check(err)
 			err = workload.WriteTrace(f, workload.Keys(gen, *queries))
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 			check(err)
-			fmt.Printf("recorded %d %s queries to %s\n", *queries, pat, *trace)
+			fmt.Printf("recorded %d %s queries to %s\n", *queries, pat, *keytrace)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q (want table1, fig2, listing1, fig5..fig9, split, mixed, amac, arches, validate, run, record, advise, selftest, all)", cmd))
 		}
 	}
+	check(writeObsArtifacts(col, *traceOut, *metricsOut))
+}
+
+// printSweepStats renders sweep wall-clock profiling to stderr through a
+// throwaway registry — profiling output never mixes into -metrics, which
+// must stay deterministic.
+func printSweepStats(s *sweep.Stats) {
+	reg := obs.NewRegistry()
+	s.Record(reg)
+	if err := reg.WriteText(os.Stderr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// writeObsArtifacts writes the trace JSON and metrics CSV files, when
+// requested, after all experiments have run.
+func writeObsArtifacts(col *obs.Collector, tracePath, metricsPath string) error {
+	if col == nil {
+		return nil
+	}
+	write := func(path string, render func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = render(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if err := write(tracePath, func(f *os.File) error { return col.Tracer.WriteJSON(f) }); err != nil {
+		return err
+	}
+	return write(metricsPath, func(f *os.File) error { return col.Registry.WriteCSV(f) })
 }
 
 func runAll(opts experiments.Options, csv bool) {
@@ -266,8 +317,8 @@ func resultTable(r *core.Result) *report.Table {
 // breakdownTable decomposes each variant's cycles/lookup into the memory
 // share and the top instruction classes.
 func breakdownTable(r *core.Result) *report.Table {
-	t := report.NewTable("Cycle breakdown per lookup (memory vs instruction classes)",
-		"Variant", "Total", "Memory", "Top instruction classes")
+	t := report.NewTable("Cycle breakdown per lookup (memory vs instruction classes, cache hits/misses)",
+		"Variant", "Total", "Memory", "Top instruction classes", "Cache hits/misses")
 	row := func(name string, m core.Measurement) {
 		type kv struct {
 			op arch.OpClass
@@ -291,10 +342,19 @@ func breakdownTable(r *core.Result) *report.Table {
 			}
 			parts = append(parts, fmt.Sprintf("%v=%.1f", o.op, o.cy))
 		}
+		var levels []string
+		for _, l := range m.CacheLevels {
+			if l.Name == "DRAM" {
+				levels = append(levels, fmt.Sprintf("DRAM %d", l.Hits))
+				continue
+			}
+			levels = append(levels, fmt.Sprintf("%s %d/%d", l.Name, l.Hits, l.Misses))
+		}
 		t.AddRow(name,
 			fmt.Sprintf("%.1f", m.CyclesPerLookup),
 			fmt.Sprintf("%.1f", m.MemCyclesPerLookup),
-			strings.Join(parts, " "))
+			strings.Join(parts, " "),
+			strings.Join(levels, " "))
 	}
 	row("Scalar", r.Scalar)
 	for _, v := range r.Vector {

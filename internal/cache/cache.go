@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"simdhtbench/internal/mem"
+	"simdhtbench/internal/obs"
 )
 
 // Config describes one cache level.
@@ -68,8 +69,9 @@ func newLevel(cfg Config) *level {
 }
 
 // access looks up a line address; on miss the line is installed, possibly
-// evicting the LRU way. Returns true on hit.
-func (l *level) access(line uint64) bool {
+// evicting the LRU way. Returns whether it hit and whether the install
+// evicted a resident line.
+func (l *level) access(line uint64) (hit, evicted bool) {
 	set := l.sets[(line/mem.LineSize)%l.numSets]
 	for i, tag := range set {
 		if tag == line {
@@ -77,23 +79,27 @@ func (l *level) access(line uint64) bool {
 			copy(set[1:i+1], set[:i])
 			set[0] = line
 			l.stats.Hits++
-			return true
+			return true, false
 		}
 	}
 	l.stats.Misses++
-	l.install(line)
-	return false
+	return false, l.install(line)
 }
 
-func (l *level) install(line uint64) {
+// install places a line at MRU, reporting whether the set was full and the
+// LRU way was evicted to make room.
+func (l *level) install(line uint64) (evicted bool) {
 	idx := (line / mem.LineSize) % l.numSets
 	set := l.sets[idx]
 	if len(set) < l.capacity {
 		set = append(set, 0)
+	} else {
+		evicted = true
 	}
 	copy(set[1:], set)
 	set[0] = line
 	l.sets[idx] = set
+	return evicted
 }
 
 func (l *level) reset() {
@@ -112,6 +118,10 @@ type Hierarchy struct {
 	// above 1.0 to model memory-bandwidth contention when all cores of a
 	// node probe a shared table (full-subscription mode in the paper).
 	DRAMPenalty float64
+	// Probe, when non-nil, observes charged accesses level by level (obs
+	// layer). Touch — the uncharged warm-up path — stays silent so probes
+	// see only measured traffic.
+	Probe obs.CacheProbe
 }
 
 // New builds a hierarchy from outermost-first level configs and a DRAM
@@ -162,11 +172,21 @@ func (h *Hierarchy) accessLineDetail(line uint64) (float64, float64) {
 	var cycles float64
 	for _, l := range h.levels {
 		cycles += l.cfg.Latency
-		if l.access(line) {
+		hit, evicted := l.access(line)
+		if h.Probe != nil {
+			h.Probe.LevelAccess(l.cfg.Name, hit)
+			if evicted {
+				h.Probe.Eviction(l.cfg.Name)
+			}
+		}
+		if hit {
 			return cycles, 0
 		}
 	}
 	h.dramAccess++
+	if h.Probe != nil {
+		h.Probe.LevelAccess("DRAM", true)
+	}
 	return cycles + h.dramLatency*h.DRAMPenalty, h.dramLatency * (h.DRAMPenalty - 1)
 }
 
@@ -179,7 +199,7 @@ func (h *Hierarchy) Touch(addr uint64, size int) {
 	for i := 0; i < n; i++ {
 		line := first + uint64(i)*mem.LineSize
 		for _, l := range h.levels {
-			l.access(line)
+			l.access(line) // warm-up install: stats reset later, probe not fired
 		}
 	}
 }

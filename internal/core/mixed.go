@@ -107,7 +107,7 @@ func RunMixed(p Params, updateFraction float64) (*Result, error) {
 	scalarSpan := func(e *engine.Engine, from, n int) int {
 		return table.LookupScalarBatch(e, stream, from, n, res, nil)
 	}
-	result.Scalar = measure(p, table, mixedRun(scalarSpan), 64)
+	result.Scalar = measure(p, table, mixedRun(scalarSpan), 64, "scalar")
 	result.Scalar.Scalar = true
 
 	for _, c := range EnumerateChoices(p.Arch, layout, p.Widths, p.Approaches) {
@@ -125,7 +125,7 @@ func RunMixed(p Params, updateFraction float64) (*Result, error) {
 				return table.LookupVerticalBatch(e, stream, from, n, cfg, res, nil)
 			}
 		}
-		m := measure(p, table, mixedRun(span), c.Width)
+		m := measure(p, table, mixedRun(span), c.Width, c.String())
 		m.Choice = c
 		result.Vector = append(result.Vector, m)
 	}

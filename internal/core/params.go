@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"simdhtbench/internal/arch"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/workload"
 )
 
@@ -131,6 +132,12 @@ type Params struct {
 
 	// Seed makes table fill and query generation deterministic.
 	Seed int64
+
+	// Obs, when non-nil, receives metrics and virtual-time trace spans for
+	// every measured variant (scoped by variant name under this collector).
+	// Attaching a collector never changes any measured value; nil is the
+	// zero-overhead default.
+	Obs *obs.Collector
 }
 
 // withDefaults returns a copy with zero fields resolved.

@@ -28,6 +28,18 @@ type Measurement struct {
 	// "where does each design spend its time".
 	MemCyclesPerLookup float64
 	OpCycles           map[arch.OpClass]float64
+
+	// CacheLevels is the measured window's per-level hit/miss traffic,
+	// outermost level first, with a final DRAM entry (fills only). It
+	// feeds the -breakdown cache column.
+	CacheLevels []LevelStat
+}
+
+// LevelStat is one cache level's traffic during the measured window.
+type LevelStat struct {
+	Name   string
+	Hits   uint64
+	Misses uint64
 }
 
 // Result is the performance engine's report for one Params configuration:
@@ -127,7 +139,7 @@ func Run(p Params) (*Result, error) {
 	scalarRun := func(e *engine.Engine, from, n int) int {
 		return table.LookupScalarBatch(e, stream, from, n, res, nil)
 	}
-	result.Scalar = measure(p, table, scalarRun, arch.WidthScalar)
+	result.Scalar = measure(p, table, scalarRun, arch.WidthScalar, "scalar")
 	result.Scalar.Scalar = true
 
 	if p.WithAMAC {
@@ -135,7 +147,7 @@ func Run(p Params) (*Result, error) {
 		amacRun := func(e *engine.Engine, from, n int) int {
 			return table.LookupAMACBatch(e, stream, from, n, cfg, res, nil)
 		}
-		m := measure(p, table, amacRun, arch.WidthScalar)
+		m := measure(p, table, amacRun, arch.WidthScalar, "amac")
 		m.Scalar = true
 		result.AMAC = &m
 	}
@@ -158,7 +170,7 @@ func Run(p Params) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("core: unknown approach %v", c.Approach)
 		}
-		m := measure(p, table, run, c.Width)
+		m := measure(p, table, run, c.Width, c.String())
 		m.Choice = c
 		result.Vector = append(result.Vector, m)
 	}
@@ -174,8 +186,13 @@ func Run(p Params) (*Result, error) {
 // a long-running shared read-only table is resident in whatever cache
 // levels can hold it) and then replays warm-up queries so the hot set's
 // recency reflects the access pattern.
-func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n int) int, width int) Measurement {
+func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n int) int, width int, variant string) Measurement {
 	e := engine.New(p.Arch, p.Cores)
+	vc := p.Obs.Scope("variant", variant)
+	if vc != nil {
+		e.SetProbe(vc.EngineProbe())
+		e.Cache.Probe = vc.CacheProbe()
+	}
 	e.SetCharging(false)
 	e.Cache.Touch(table.Arena.Base(), table.Arena.Size())
 	run(e, 0, p.Warmup)
@@ -199,5 +216,18 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 		m.L1HitRate = st.HitRate()
 	}
 	m.DRAMPerLookup = float64(e.Cache.DRAMAccesses()) / float64(p.Queries)
+	for _, name := range e.Cache.Levels() {
+		if st, ok := e.Cache.LevelStats(name); ok {
+			m.CacheLevels = append(m.CacheLevels, LevelStat{Name: name, Hits: st.Hits, Misses: st.Misses})
+		}
+	}
+	m.CacheLevels = append(m.CacheLevels, LevelStat{Name: "DRAM", Hits: e.Cache.DRAMAccesses()})
+	if vc != nil {
+		// One span per measured variant on the cycle axis: [0, cycles].
+		vc.Span("measure", 0, cycles, map[string]interface{}{
+			"queries": p.Queries, "hits": hits, "width": width,
+			"cycles_per_lookup": m.CyclesPerLookup,
+		})
+	}
 	return m
 }

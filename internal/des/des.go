@@ -13,6 +13,8 @@ package des
 import (
 	"container/heap"
 	"fmt"
+
+	"simdhtbench/internal/obs"
 )
 
 // Sim is the event scheduler. The zero value is not usable; call New.
@@ -20,6 +22,9 @@ type Sim struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+
+	// Probe, when non-nil, observes each dispatched event (obs layer).
+	Probe obs.SimProbe
 }
 
 // New returns an empty simulation at time 0.
@@ -54,6 +59,9 @@ func (s *Sim) Step() bool {
 	}
 	ev := heap.Pop(&s.events).(*event)
 	s.now = ev.at
+	if s.Probe != nil {
+		s.Probe.EventRun(ev.at)
+	}
 	ev.fn()
 	return true
 }

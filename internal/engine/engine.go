@@ -21,6 +21,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/cache"
 	"simdhtbench/internal/mem"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/vec"
 )
 
@@ -38,6 +39,11 @@ type Engine struct {
 	// Breakdown: cycles by op class, plus memory cycles (cache/DRAM).
 	opCycles  map[arch.OpClass]float64
 	memCycles float64
+
+	// probe, when non-nil, observes every charged cost (obs layer). The
+	// hot path pays exactly one nil check per charge; warm-up (charging
+	// off) emits nothing, so measurements stay comparable.
+	probe obs.EngineProbe
 }
 
 // New builds an engine for the given architecture, running in
@@ -105,10 +111,18 @@ func (e *Engine) ResetAll() {
 // while charging is off; warm-up passes use this.
 func (e *Engine) SetCharging(on bool) { e.charging = on }
 
+// SetProbe installs an observability probe (nil turns observation off).
+// The probe sees charged costs only — it never alters them — so attaching
+// one cannot change any measured result.
+func (e *Engine) SetProbe(p obs.EngineProbe) { e.probe = p }
+
 // Charge adds the cost of one op of the given class and vector width.
 func (e *Engine) Charge(c arch.OpClass, width int) {
 	if width > e.maxWidth {
 		e.maxWidth = width
+		if e.probe != nil {
+			e.probe.WidthLicensed(width, e.cycles)
+		}
 	}
 	if !e.charging {
 		return
@@ -117,6 +131,9 @@ func (e *Engine) Charge(c arch.OpClass, width int) {
 	e.cycles += cost
 	e.opCycles[c] += cost
 	e.ops++
+	if e.probe != nil {
+		e.probe.OpCharged(c.String(), width, cost)
+	}
 }
 
 // MemCycles returns the cycles spent in cache/DRAM accesses since reset.
@@ -138,6 +155,9 @@ func (e *Engine) ChargeCycles(cy float64) {
 		return
 	}
 	e.cycles += cy
+	if e.probe != nil {
+		e.probe.FixedCharged(cy)
+	}
 }
 
 // chargeMem charges a memory access through the cache hierarchy.
@@ -149,6 +169,9 @@ func (e *Engine) chargeMem(addr uint64, size int) {
 	cy := e.Cache.Access(addr, size)
 	e.cycles += cy
 	e.memCycles += cy
+	if e.probe != nil {
+		e.probe.MemCharged(cy)
+	}
 }
 
 // MemAccess charges an access to [addr, addr+size) without transferring
@@ -180,6 +203,9 @@ func (e *Engine) OverlappedAccess(addr uint64, size int) {
 		cy := (total-excess)*e.Arch.GatherOverlap + excess
 		e.cycles += cy
 		e.memCycles += cy
+		if e.probe != nil {
+			e.probe.MemCharged(cy)
+		}
 	}
 }
 
@@ -223,6 +249,9 @@ func (e *Engine) chargeStream(addr uint64, size int) {
 	}
 	e.cycles += streamAccessCycles
 	e.memCycles += streamAccessCycles
+	if e.probe != nil {
+		e.probe.MemCharged(streamAccessCycles)
+	}
 }
 
 // --- Scalar operations -----------------------------------------------------
@@ -349,10 +378,12 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 	e.Charge(arch.OpVecGather, bits)
 	out := vec.Zero(bits)
 	seen := make(map[uint64]struct{}, lanes)
+	active := 0
 	for i := 0; i < lanes; i++ {
 		if !m.Test(i) {
 			continue
 		}
+		active++
 		e.Charge(arch.OpVecGatherLn, bits)
 		addr := a.Addr(offs[i])
 		for _, line := range touchedLines(addr, laneBits/8) {
@@ -362,6 +393,9 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 			}
 		}
 		out = out.WithLane(laneBits, i, a.ReadUint(offs[i], laneBits))
+	}
+	if e.charging && e.probe != nil {
+		e.probe.GatherCharged(active, len(seen))
 	}
 	return out
 }
@@ -380,6 +414,9 @@ func (e *Engine) chargeGatherLine(line uint64) {
 	cy := (total-excess)*e.Arch.GatherOverlap + excess
 	e.cycles += cy
 	e.memCycles += cy
+	if e.probe != nil {
+		e.probe.MemCharged(cy)
+	}
 }
 
 func touchedLines(addr uint64, size int) []uint64 {

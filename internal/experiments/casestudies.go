@@ -31,13 +31,15 @@ func Fig7a(o Options) (*report.Table, error) {
 	} {
 		for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
 			c, p := c, p
+			label := fmt.Sprintf("fig7a (%d,%d)b (%d,%d) %s", c.keyBits, c.valBits, c.n, c.mm, p)
 			jobs = append(jobs, sweep.Job[[]string]{
-				Label: fmt.Sprintf("fig7a (%d,%d)b (%d,%d) %s", c.keyBits, c.valBits, c.n, c.mm, p),
+				Label: label,
 				Run: func() ([]string, error) {
 					r, err := core.Run(core.Params{
 						Arch: m, N: c.n, M: c.mm, KeyBits: c.keyBits, ValBits: c.valBits,
 						TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: p, Queries: o.Queries, Seed: o.Seed,
+						Obs: o.Obs.Scope("config", label),
 					})
 					if err != nil {
 						return nil, err
@@ -84,14 +86,16 @@ func Fig7b(o Options) (*report.Table, error) {
 		for _, cores := range []int{20, 40} {
 			for _, nm := range [][2]int{{3, 1}, {2, 4}} {
 				sz, cores, nm := sz, cores, nm
+				label := fmt.Sprintf("fig7b %s %dc (%d,%d)", sizeLabel(sz), cores, nm[0], nm[1])
 				jobs = append(jobs, sweep.Job[[]string]{
-					Label: fmt.Sprintf("fig7b %s %dc (%d,%d)", sizeLabel(sz), cores, nm[0], nm[1]),
+					Label: label,
 					Run: func() ([]string, error) {
 						r, err := core.Run(core.Params{
 							Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 							TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9, Cores: cores,
 							Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
 							Widths: []int{256, 512},
+							Obs:    o.Obs.Scope("config", label),
 						})
 						if err != nil {
 							return nil, err
@@ -140,13 +144,15 @@ func Fig8(o Options) (*report.Table, error) {
 			for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
 				for _, nm := range [][2]int{{2, 4}, {3, 1}} {
 					m, sz, p, nm := m, sz, p, nm
+					label := fmt.Sprintf("fig8 %s %s %s (%d,%d)", shortArch(m), sizeLabel(sz), p, nm[0], nm[1])
 					jobs = append(jobs, sweep.Job[[]string]{
-						Label: fmt.Sprintf("fig8 %s %s %s (%d,%d)", shortArch(m), sizeLabel(sz), p, nm[0], nm[1]),
+						Label: label,
 						Run: func() ([]string, error) {
 							r, err := core.Run(core.Params{
 								Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 								TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
 								Pattern: p, Queries: o.Queries, Seed: o.Seed,
+								Obs: o.Obs.Scope("config", label),
 							})
 							if err != nil {
 								return nil, err
@@ -204,8 +210,9 @@ func Fig9(o Options) (*report.Table, error) {
 	jobs := make([]sweep.Job[[]string], len(cfgs))
 	for i, c := range cfgs {
 		c := c
+		label := fmt.Sprintf("fig9 %s (%d,%d)", shortArch(c.m), c.n, c.mm)
 		jobs[i] = sweep.Job[[]string]{
-			Label: fmt.Sprintf("fig9 %s (%d,%d)", shortArch(c.m), c.n, c.mm),
+			Label: label,
 			Run: func() ([]string, error) {
 				approaches := []core.Approach{core.Vertical, core.VerticalHybrid}
 				r, err := core.Run(core.Params{
@@ -213,6 +220,7 @@ func Fig9(o Options) (*report.Table, error) {
 					TableBytes: c.sz, LoadFactor: 0.85, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
 					Widths: []int{512}, Approaches: approaches,
+					Obs: o.Obs.Scope("config", label),
 				})
 				if err != nil {
 					return nil, err

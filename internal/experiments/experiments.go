@@ -20,6 +20,7 @@ import (
 
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
@@ -39,6 +40,12 @@ type Options struct {
 	// OnSweep, when non-nil, observes the timing stats of every sweep the
 	// experiment performs (the CLIs wire -sweepstats to print them).
 	OnSweep func(*sweep.Stats)
+
+	// Obs, when non-nil, collects deterministic metrics and virtual-time
+	// trace spans for every configuration (the CLIs wire -trace/-metrics
+	// to it). Each sweep job scopes the collector with its unique config
+	// label, so output is byte-identical at any Parallel setting.
+	Obs *obs.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -144,13 +151,15 @@ func gridJobs(m *arch.Model, pattern workload.Pattern, tableBytes int, o Options
 	jobs := make([]sweep.Job[[]string], len(fig5Variants))
 	for i, nm := range fig5Variants {
 		nm := nm
+		label := fmt.Sprintf("fig5 (%d,%d) %s", nm[0], nm[1], pattern)
 		jobs[i] = sweep.Job[[]string]{
-			Label: fmt.Sprintf("fig5 (%d,%d) %s", nm[0], nm[1], pattern),
+			Label: label,
 			Run: func() ([]string, error) {
 				r, err := core.Run(core.Params{
 					Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 					TableBytes: tableBytes, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+					Obs: o.Obs.Scope("config", label),
 				})
 				if err != nil {
 					return nil, err
@@ -204,13 +213,15 @@ func Fig6(o Options) (*report.Table, error) {
 	for _, sz := range []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20} {
 		for _, nm := range [][2]int{{2, 4}, {3, 1}} {
 			sz, nm := sz, nm
+			label := fmt.Sprintf("fig6 %s (%d,%d)", sizeLabel(sz), nm[0], nm[1])
 			jobs = append(jobs, sweep.Job[[]string]{
-				Label: fmt.Sprintf("fig6 %s (%d,%d)", sizeLabel(sz), nm[0], nm[1]),
+				Label: label,
 				Run: func() ([]string, error) {
 					r, err := core.Run(core.Params{
 						Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 						TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+						Obs: o.Obs.Scope("config", label),
 					})
 					if err != nil {
 						return nil, err
@@ -257,13 +268,15 @@ func Fig5Grid(pattern workload.Pattern, o Options) (*report.Grid, error) {
 				continue // the paper's grid stops BCHT at N=3
 			}
 			mm, n := mm, n
+			label := fmt.Sprintf("fig5grid (%d,%d) %s", n, mm, pattern)
 			jobs = append(jobs, sweep.Job[cell]{
-				Label: fmt.Sprintf("fig5grid (%d,%d) %s", n, mm, pattern),
+				Label: label,
 				Run: func() (cell, error) {
 					r, err := core.Run(core.Params{
 						Arch: m, N: n, M: mm, KeyBits: 32, ValBits: 32,
 						TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
+						Obs: o.Obs.Scope("config", label),
 					})
 					if err != nil {
 						return cell{}, err

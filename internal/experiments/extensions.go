@@ -40,14 +40,16 @@ func SplitBucket(o Options) (*report.Table, error) {
 			if split {
 				arrangement = "split"
 			}
+			label := fmt.Sprintf("split (%d,%d)x(%d,%d) %s", c.n, c.mm, c.kb, c.vb, arrangement)
 			jobs = append(jobs, sweep.Job[[]string]{
-				Label: fmt.Sprintf("split (%d,%d)x(%d,%d) %s", c.n, c.mm, c.kb, c.vb, arrangement),
+				Label: label,
 				Run: func() ([]string, error) {
 					r, err := core.Run(core.Params{
 						Arch: m, N: c.n, M: c.mm, KeyBits: c.kb, ValBits: c.vb, Split: split,
 						TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
 						Approaches: []core.Approach{core.Horizontal},
+						Obs:        o.Obs.Scope("config", label),
 					})
 					if err != nil {
 						return nil, err
@@ -92,13 +94,15 @@ func MixedWorkload(o Options) (*report.Table, error) {
 	jobs := make([]sweep.Job[[]string], len(fractions))
 	for i, uf := range fractions {
 		uf := uf
+		label := fmt.Sprintf("mixed %.0f%%", uf*100)
 		jobs[i] = sweep.Job[[]string]{
-			Label: fmt.Sprintf("mixed %.0f%%", uf*100),
+			Label: label,
 			Run: func() ([]string, error) {
 				r, err := core.RunMixed(core.Params{
 					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
 					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+					Obs: o.Obs.Scope("config", label),
 				}, uf)
 				if err != nil {
 					return nil, err
@@ -139,13 +143,15 @@ func AMACStudy(o Options) (*report.Table, error) {
 	jobs := make([]sweep.Job[[]string], len(sizes))
 	for i, sz := range sizes {
 		sz := sz
+		jobLabel := fmt.Sprintf("amac %s", sizeLabel(sz))
 		jobs[i] = sweep.Job[[]string]{
-			Label: fmt.Sprintf("amac %s", sizeLabel(sz)),
+			Label: jobLabel,
 			Run: func() ([]string, error) {
 				r, err := core.Run(core.Params{
 					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32, WithAMAC: true,
 					TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+					Obs: o.Obs.Scope("config", jobLabel),
 				})
 				if err != nil {
 					return nil, err
@@ -189,13 +195,15 @@ func EmergingArchitectures(o Options) (*report.Table, error) {
 	jobs := make([]sweep.Job[[]string], len(models))
 	for i, m := range models {
 		m := m
+		label := fmt.Sprintf("arches %s", m.Name)
 		jobs[i] = sweep.Job[[]string]{
-			Label: fmt.Sprintf("arches %s", m.Name),
+			Label: label,
 			Run: func() ([]string, error) {
 				hor, err := core.Run(core.Params{
 					Arch: m, N: 2, M: 4, KeyBits: 32, ValBits: 32,
 					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+					Obs: o.Obs.Scope("config", label+" hor"),
 				})
 				if err != nil {
 					return nil, err
@@ -204,6 +212,7 @@ func EmergingArchitectures(o Options) (*report.Table, error) {
 					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
 					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
+					Obs: o.Obs.Scope("config", label+" ver"),
 				})
 				if err != nil {
 					return nil, err

@@ -9,6 +9,7 @@ import (
 	"simdhtbench/internal/mem"
 	"simdhtbench/internal/memslap"
 	"simdhtbench/internal/netsim"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 )
@@ -33,6 +34,11 @@ type KVSOptions struct {
 
 	// OnSweep, when non-nil, observes sweep timing stats (CLI -sweepstats).
 	OnSweep func(*sweep.Stats)
+
+	// Obs, when non-nil, collects metrics and virtual-time (DES clock)
+	// traces. Each (backend, batch) job gets its own scope, so artifacts
+	// are byte-identical at every Parallel setting.
+	Obs *obs.Collector
 }
 
 func (o KVSOptions) withDefaults() KVSOptions {
@@ -72,8 +78,15 @@ func RunKVS(backend string, batch int, o KVSOptions) (memslap.Results, error) {
 // memslap 20 B/32 B items.
 func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Results, error) {
 	o = o.withDefaults()
+	scope := fmt.Sprintf("%s b=%d", backend, batch)
+	if etc {
+		scope += " etc" // keep ETC series distinct from a same-run Fig. 11
+	}
+	col := o.Obs.Scope("config", scope)
 	sim := des.New()
+	sim.Probe = col.SimProbe()
 	fabric := netsim.New(sim, netsim.EDR())
+	fabric.Probe = col.NetProbe()
 	space := mem.NewAddressSpace()
 	store := kvs.NewItemStore(space)
 
@@ -98,6 +111,7 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 	}
 
 	srv := kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, maxBatch, index, store)
+	srv.Probe = col.ServerProbe()
 	var keys [][]byte
 	if etc {
 		keys, err = memslap.LoadETC(srv, o.Items, o.Seed)

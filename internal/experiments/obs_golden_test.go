@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"simdhtbench/internal/obs"
+)
+
+// The observability layer promises three things tested here: attaching a
+// collector never changes the measured tables, its artifacts are
+// byte-identical at every Parallel setting, and both renderings match
+// committed goldens (which the CLI smoke test in scripts/ci.sh reproduces
+// through the -trace/-metrics flags). Regenerate with
+//
+//	go test ./internal/experiments -run ObsGolden -update
+
+// renderObs renders a collector's two artifacts.
+func renderObs(t *testing.T, col *obs.Collector) (traceJSON, metricsCSV []byte) {
+	t.Helper()
+	var tr, ms bytes.Buffer
+	if err := col.Tracer.WriteJSON(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Registry.WriteCSV(&ms); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Bytes(), ms.Bytes()
+}
+
+// runFig7aObs mirrors `simdhtbench -queries 400 -seed 1 -trace -metrics fig7a`.
+func runFig7aObs(t *testing.T, parallel int) (table, traceJSON, metricsCSV []byte) {
+	t.Helper()
+	col := obs.NewCollector()
+	tbl, err := Fig7a(Options{Queries: 400, Seed: 1, Parallel: parallel, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	tr, ms := renderObs(t, col)
+	return buf.Bytes(), tr, ms
+}
+
+func TestObsGoldenFig7a(t *testing.T) {
+	tbl1, tr1, ms1 := runFig7aObs(t, 1)
+	tbl8, tr8, ms8 := runFig7aObs(t, 8)
+	if !bytes.Equal(tr1, tr8) || !bytes.Equal(ms1, ms8) {
+		t.Fatal("fig7a obs artifacts diverge between -parallel 1 and -parallel 8")
+	}
+	if !bytes.Equal(tbl1, tbl8) {
+		t.Fatal("fig7a table diverges between -parallel 1 and -parallel 8")
+	}
+	// Probe neutrality: the observed run renders the same table as a bare one.
+	bare, err := Fig7a(Options{Queries: 400, Seed: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bare.Fprint(&buf)
+	if !bytes.Equal(buf.Bytes(), tbl1) {
+		t.Error("attaching obs changed the fig7a table")
+	}
+	checkGolden(t, "obs_fig7a_trace.golden.json", tr1)
+	checkGolden(t, "obs_fig7a_metrics.golden.csv", ms1)
+}
+
+// kvsObsOptions mirrors `kvsbench -items 2000 -workers 2 -clients 2
+// -requests 20 -batches 8 -seed 7 -trace -metrics fig11a`.
+func kvsObsOptions(parallel int, col *obs.Collector) KVSOptions {
+	return KVSOptions{
+		Items: 2000, Workers: 2, Clients: 2, Requests: 20,
+		Batches: []int{8}, Seed: 7, Parallel: parallel, Obs: col,
+	}
+}
+
+func runFig11aObs(t *testing.T, parallel int) (table, traceJSON, metricsCSV []byte) {
+	t.Helper()
+	col := obs.NewCollector()
+	tbl, err := Fig11a(kvsObsOptions(parallel, col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	tr, ms := renderObs(t, col)
+	return buf.Bytes(), tr, ms
+}
+
+func TestObsGoldenFig11a(t *testing.T) {
+	tbl1, tr1, ms1 := runFig11aObs(t, 1)
+	tbl4, tr4, ms4 := runFig11aObs(t, 4)
+	if !bytes.Equal(tr1, tr4) || !bytes.Equal(ms1, ms4) {
+		t.Fatal("fig11a obs artifacts diverge between -parallel 1 and -parallel 4")
+	}
+	if !bytes.Equal(tbl1, tbl4) {
+		t.Fatal("fig11a table diverges between -parallel 1 and -parallel 4")
+	}
+	bare, err := Fig11a(kvsObsOptions(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bare.Fprint(&buf)
+	if !bytes.Equal(buf.Bytes(), tbl1) {
+		t.Error("attaching obs changed the fig11a table")
+	}
+	checkGolden(t, "obs_fig11a_trace.golden.json", tr1)
+	checkGolden(t, "obs_fig11a_metrics.golden.csv", ms1)
+}

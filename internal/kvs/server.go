@@ -6,6 +6,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/des"
 	"simdhtbench/internal/engine"
+	"simdhtbench/internal/obs"
 )
 
 // Per-key pipeline cost constants (cycles), modeling the server data-access
@@ -65,6 +66,11 @@ type Server struct {
 	KeysFound   uint64
 	Evictions   uint64
 	PhaseTotals PhaseBreakdown
+
+	// Probe, when non-nil, observes each processed batch with its phase
+	// breakdown (obs layer): one request span per batch on a per-worker
+	// track with pre/lookup/post children — Fig. 11b, but per request.
+	Probe obs.ServerProbe
 }
 
 // NewServer builds a server with `workers` worker threads on the given
@@ -204,6 +210,11 @@ func (s *Server) processBatch(wi int, keys [][]byte) MGetResult {
 	s.PhaseTotals.Pre += b.Pre
 	s.PhaseTotals.Lookup += b.Lookup
 	s.PhaseTotals.Post += b.Post
+	if s.Probe != nil {
+		// Batch service occupies [Now, Now+Total] of virtual time on this
+		// worker; the probe renders it as a span with phase children.
+		s.Probe.Batch(wi, s.Sim.Now(), b.Pre, b.Lookup, b.Post, len(keys), found)
+	}
 
 	return MGetResult{Values: values, Found: found, RespBytes: respBytes, Breakdown: b}
 }

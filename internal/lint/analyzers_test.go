@@ -44,6 +44,14 @@ func TestDetermLint(t *testing.T) {
 		[]*lint.Analyzer{lint.DetermLint})
 }
 
+// TestDetermLintObsWallClock checks the internal/obs carve-out: WallNow's
+// body may read the clock (the single sanctioned profiling site); any
+// other wall-clock read in the obs subtree is still reported.
+func TestDetermLintObsWallClock(t *testing.T) {
+	runWantCase(t, "simdhtbench/internal/obs/lintcase", "testdata/obswallcase.go",
+		[]*lint.Analyzer{lint.DetermLint})
+}
+
 func TestVecLint(t *testing.T) {
 	runWantCase(t, "simdhtbench/internal/veccase", "testdata/veccase.go",
 		[]*lint.Analyzer{lint.VecLint})

@@ -1,0 +1,27 @@
+// Corpus for determlint's internal/obs allowance: a function named WallNow
+// in the obs package subtree is the module's one sanctioned wall-clock
+// site; every other clock read there is still reported. Loaded under the
+// synthetic import path simdhtbench/internal/obs/lintcase.
+package obswallcase
+
+import "time"
+
+// WallNow mirrors obs.WallNow: the sanctioned profiling clock. No finding.
+func WallNow() time.Time {
+	return time.Now()
+}
+
+// WallSince derives from WallNow without touching the clock. No finding.
+func WallSince(t time.Time) time.Duration {
+	return WallNow().Sub(t)
+}
+
+// leakyNow reads the clock outside WallNow and is still reported.
+func leakyNow() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+// leakySince likewise: the allowance is the WallNow body only.
+func leakySince(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock read time\.Since`
+}

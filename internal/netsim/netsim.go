@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"simdhtbench/internal/des"
+	"simdhtbench/internal/obs"
 )
 
 // Config sets the fabric constants.
@@ -60,6 +61,9 @@ type Fabric struct {
 	endpoints map[string]*Endpoint
 	sent      uint64
 	bytesSent uint64
+
+	// Probe, when non-nil, observes each logical send (obs layer).
+	Probe obs.NetProbe
 }
 
 // New creates a fabric on the given simulator.
@@ -139,6 +143,9 @@ func (e *Endpoint) Send(dst *Endpoint, bytes int, deliver func()) {
 		arrival = txDone + f.cfg.PropDelay + f.cfg.RecvOverhead
 		f.sent++
 		f.bytesSent += uint64(segBytes)
+	}
+	if f.Probe != nil {
+		f.Probe.MessageSent(e.name, dst.name, bytes, segments, f.sim.Now(), arrival)
 	}
 	f.sim.At(arrival, deliver)
 }

@@ -1,0 +1,90 @@
+package obs
+
+// Collector bundles a Registry and a Tracer and carries the label/track
+// scope that instrumented code inherits. A nil *Collector is the "off"
+// state: Scope returns nil, the probe constructors return nil interfaces,
+// and instrumented packages pay only a nil check.
+type Collector struct {
+	Registry *Registry
+	Tracer   *Tracer
+
+	labels []Label // applied to every series created through this scope
+	track  string  // "a/b/" prefix applied to every track name
+}
+
+// NewCollector returns a collector with a fresh registry and tracer.
+func NewCollector() *Collector {
+	return &Collector{Registry: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Scope derives a collector sharing the same registry and tracer but with
+// an extra key=value label on every series and value+"/" prefixed to every
+// track. Sweep jobs scope with a unique config label so their float-valued
+// series and trace tracks are disjoint (see the package determinism
+// contract). Scope on a nil collector returns nil.
+func (c *Collector) Scope(key, value string) *Collector {
+	if c == nil {
+		return nil
+	}
+	labels := make([]Label, 0, len(c.labels)+1)
+	labels = append(labels, c.labels...)
+	labels = append(labels, Label{Key: key, Value: value})
+	return &Collector{
+		Registry: c.Registry,
+		Tracer:   c.Tracer,
+		labels:   labels,
+		track:    c.track + value + "/",
+	}
+}
+
+// Labels returns this scope's labels plus any extras, for series creation.
+func (c *Collector) scopedLabels(extra []Label) []Label {
+	out := make([]Label, 0, len(c.labels)+len(extra))
+	out = append(out, c.labels...)
+	out = append(out, extra...)
+	return out
+}
+
+// Counter returns a counter in this scope (scope labels + extras applied).
+func (c *Collector) Counter(name string, extra ...Label) *Counter {
+	return c.Registry.Counter(name, c.scopedLabels(extra)...)
+}
+
+// Gauge returns a gauge in this scope.
+func (c *Collector) Gauge(name string, extra ...Label) *Gauge {
+	return c.Registry.Gauge(name, c.scopedLabels(extra)...)
+}
+
+// Histogram returns a histogram in this scope.
+func (c *Collector) Histogram(name string, bounds []float64, extra ...Label) *Histogram {
+	return c.Registry.Histogram(name, bounds, c.scopedLabels(extra)...)
+}
+
+// trackName joins this scope's track prefix with a leaf name. With an
+// empty leaf the scope path itself is the track.
+func (c *Collector) trackName(leaf string) string {
+	if leaf == "" {
+		if len(c.track) > 0 {
+			return c.track[:len(c.track)-1] // drop trailing "/"
+		}
+		return "main"
+	}
+	return c.track + leaf
+}
+
+// Span records a span on this scope's own track (the scope path). ts and
+// dur are virtual time in the caller's unit (cycles or microseconds).
+func (c *Collector) Span(name string, ts, dur float64, args map[string]interface{}) {
+	if c == nil {
+		return
+	}
+	c.Tracer.Span(c.trackName(""), name, ts, dur, args)
+}
+
+// Instant records an instant event on this scope's own track.
+func (c *Collector) Instant(name string, ts float64, args map[string]interface{}) {
+	if c == nil {
+		return
+	}
+	c.Tracer.Instant(c.trackName(""), name, ts, args)
+}

@@ -1,0 +1,266 @@
+package obs
+
+import "fmt"
+
+// Probe interfaces implemented here and consumed by the instrumented
+// packages (engine, cache, des, netsim, kvs). The interfaces are declared
+// in this package so the simulation packages depend only on obs, never the
+// other way around. Every constructor on *Collector is nil-safe: a nil
+// collector yields a nil interface, which instrumented code treats as
+// "off" with a single `!= nil` check.
+
+// EngineProbe observes cycle charging inside internal/engine.
+type EngineProbe interface {
+	// OpCharged fires for every charged SIMD/scalar op: its class name,
+	// vector width in bits, and the cycles charged.
+	OpCharged(op string, width int, cycles float64)
+	// MemCharged fires for cycles charged by the memory hierarchy
+	// (cache walk, DRAM, streams, gather lines).
+	MemCharged(cycles float64)
+	// FixedCharged fires for fixed-cost cycles (ChargeCycles).
+	FixedCharged(cycles float64)
+	// GatherCharged fires once per gather: active lanes and the number
+	// of distinct cache lines they touched.
+	GatherCharged(lanes, distinctLines int)
+	// WidthLicensed fires when a wider vector width is first used,
+	// raising the license-based frequency selection. atCycles is the
+	// engine's cycle counter at that moment.
+	WidthLicensed(width int, atCycles float64)
+}
+
+// CacheProbe observes per-level traffic inside internal/cache.
+type CacheProbe interface {
+	// LevelAccess fires on each level probed during a charged access;
+	// level is the configured name (L1D, L2, ...) or "DRAM".
+	LevelAccess(level string, hit bool)
+	// Eviction fires when installing a line evicts an LRU victim.
+	Eviction(level string)
+}
+
+// SimProbe observes the discrete-event scheduler in internal/des.
+type SimProbe interface {
+	// EventRun fires as each event is dispatched, with the virtual time.
+	EventRun(at float64)
+}
+
+// NetProbe observes message traffic in internal/netsim.
+type NetProbe interface {
+	// MessageSent fires once per logical send: endpoints, payload size,
+	// how many segments it was split into, and virtual send/arrival
+	// times in seconds.
+	MessageSent(from, to string, bytes, segments int, sendAt, arriveAt float64)
+}
+
+// ServerProbe observes request processing in internal/kvs.
+type ServerProbe interface {
+	// Batch fires once per processed MGET batch with the phase
+	// breakdown in seconds: start is the virtual completion time of the
+	// batch, pre/lookup/post the per-phase durations.
+	Batch(worker int, start, pre, lookup, post float64, keys, found int)
+}
+
+// secondsToUs converts DES virtual seconds to trace microseconds.
+const secondsToUs = 1e6
+
+// gatherLineBounds buckets the distinct-cache-line count of a gather; a
+// W-lane gather touches between 1 and W lines (paper §4: line locality is
+// what makes vertical vectorization pay).
+var gatherLineBounds = []float64{1, 2, 4, 8, 16}
+
+// batchUsBounds buckets KVS batch service time in microseconds.
+var batchUsBounds = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+type engineProbe struct {
+	c        *Collector
+	ops      map[string]*Counter
+	opCycles map[string]*Gauge
+	mem      *Gauge
+	fixed    *Gauge
+	gathers  *Counter
+	lines    *Histogram
+	width    *Gauge
+}
+
+// EngineProbe returns a probe recording engine charging into this scope,
+// or nil when the collector is nil.
+func (c *Collector) EngineProbe() EngineProbe {
+	if c == nil {
+		return nil
+	}
+	return &engineProbe{
+		c:        c,
+		ops:      make(map[string]*Counter),
+		opCycles: make(map[string]*Gauge),
+		mem:      c.Gauge("engine_mem_cycles"),
+		fixed:    c.Gauge("engine_fixed_cycles"),
+		gathers:  c.Counter("engine_gathers_total"),
+		lines:    c.Histogram("engine_gather_distinct_lines", gatherLineBounds),
+		width:    c.Gauge("engine_license_width_bits"),
+	}
+}
+
+func (p *engineProbe) OpCharged(op string, width int, cycles float64) {
+	cnt, ok := p.ops[op]
+	if !ok {
+		cnt = p.c.Counter("engine_ops_total", Label{Key: "op", Value: op})
+		p.ops[op] = cnt
+	}
+	g, ok := p.opCycles[op]
+	if !ok {
+		g = p.c.Gauge("engine_op_cycles", Label{Key: "op", Value: op})
+		p.opCycles[op] = g
+	}
+	cnt.Inc()
+	g.Add(cycles)
+	_ = width
+}
+
+func (p *engineProbe) MemCharged(cycles float64)   { p.mem.Add(cycles) }
+func (p *engineProbe) FixedCharged(cycles float64) { p.fixed.Add(cycles) }
+
+func (p *engineProbe) GatherCharged(lanes, distinctLines int) {
+	p.gathers.Inc()
+	p.lines.Observe(float64(distinctLines))
+	_ = lanes
+}
+
+func (p *engineProbe) WidthLicensed(width int, atCycles float64) {
+	p.width.Max(float64(width))
+	p.c.Instant("license", atCycles, map[string]interface{}{"width": width})
+}
+
+type cacheProbe struct {
+	c         *Collector
+	accesses  map[string]*Counter // key "level/hit" or "level/miss"
+	evictions map[string]*Counter
+}
+
+// CacheProbe returns a probe recording per-level cache traffic into this
+// scope, or nil when the collector is nil.
+func (c *Collector) CacheProbe() CacheProbe {
+	if c == nil {
+		return nil
+	}
+	return &cacheProbe{
+		c:         c,
+		accesses:  make(map[string]*Counter),
+		evictions: make(map[string]*Counter),
+	}
+}
+
+func (p *cacheProbe) LevelAccess(level string, hit bool) {
+	result := "miss"
+	if hit {
+		result = "hit"
+	}
+	key := level + "/" + result
+	cnt, ok := p.accesses[key]
+	if !ok {
+		cnt = p.c.Counter("cache_accesses_total",
+			Label{Key: "level", Value: level}, Label{Key: "result", Value: result})
+		p.accesses[key] = cnt
+	}
+	cnt.Inc()
+}
+
+func (p *cacheProbe) Eviction(level string) {
+	cnt, ok := p.evictions[level]
+	if !ok {
+		cnt = p.c.Counter("cache_evictions_total", Label{Key: "level", Value: level})
+		p.evictions[level] = cnt
+	}
+	cnt.Inc()
+}
+
+type simProbe struct {
+	events *Counter
+	now    *Gauge
+}
+
+// SimProbe returns a probe counting DES event dispatches in this scope, or
+// nil when the collector is nil.
+func (c *Collector) SimProbe() SimProbe {
+	if c == nil {
+		return nil
+	}
+	return &simProbe{
+		events: c.Counter("des_events_total"),
+		now:    c.Gauge("des_now_seconds"),
+	}
+}
+
+func (p *simProbe) EventRun(at float64) {
+	p.events.Inc()
+	p.now.Set(at)
+}
+
+type netProbe struct {
+	c        *Collector
+	messages *Counter
+	segments *Counter
+	bytes    *Counter
+}
+
+// NetProbe returns a probe recording fabric traffic into this scope, or
+// nil when the collector is nil.
+func (c *Collector) NetProbe() NetProbe {
+	if c == nil {
+		return nil
+	}
+	return &netProbe{
+		c:        c,
+		messages: c.Counter("net_messages_total"),
+		segments: c.Counter("net_segments_total"),
+		bytes:    c.Counter("net_bytes_total"),
+	}
+}
+
+func (p *netProbe) MessageSent(from, to string, bytes, segments int, sendAt, arriveAt float64) {
+	p.messages.Inc()
+	p.segments.Add(uint64(segments))
+	p.bytes.Add(uint64(bytes))
+	name := from + "->" + to
+	args := map[string]interface{}{"bytes": bytes, "segments": segments}
+	p.c.Tracer.Instant(p.c.trackName("net"), "send "+name, sendAt*secondsToUs, args)
+	p.c.Tracer.Instant(p.c.trackName("net"), "recv "+name, arriveAt*secondsToUs, args)
+}
+
+type serverProbe struct {
+	c       *Collector
+	batches *Counter
+	keys    *Counter
+	found   *Counter
+	us      *Histogram
+}
+
+// ServerProbe returns a probe recording KVS request processing into this
+// scope, or nil when the collector is nil. Each batch becomes an "mget"
+// span on a per-worker track with pre/lookup/post child spans, so the
+// Fig. 11b phase breakdown is visible directly in Perfetto.
+func (c *Collector) ServerProbe() ServerProbe {
+	if c == nil {
+		return nil
+	}
+	return &serverProbe{
+		c:       c,
+		batches: c.Counter("server_batches_total"),
+		keys:    c.Counter("server_keys_total"),
+		found:   c.Counter("server_keys_found_total"),
+		us:      c.Histogram("server_batch_us", batchUsBounds),
+	}
+}
+
+func (p *serverProbe) Batch(worker int, start, pre, lookup, post float64, keys, found int) {
+	p.batches.Inc()
+	p.keys.Add(uint64(keys))
+	p.found.Add(uint64(found))
+	total := pre + lookup + post
+	p.us.Observe(total * secondsToUs)
+	trackName := p.c.trackName(fmt.Sprintf("worker-%02d", worker))
+	ts := start * secondsToUs
+	p.c.Tracer.Span(trackName, "mget", ts, total*secondsToUs,
+		map[string]interface{}{"keys": keys, "found": found})
+	p.c.Tracer.Span(trackName, "pre", ts, pre*secondsToUs, nil)
+	p.c.Tracer.Span(trackName, "lookup", ts+pre*secondsToUs, lookup*secondsToUs, nil)
+	p.c.Tracer.Span(trackName, "post", ts+(pre+lookup)*secondsToUs, post*secondsToUs, nil)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Tracer records spans and instant events on named tracks and renders them
+// as Chrome trace_event JSON (the format chrome://tracing and Perfetto
+// load). Timestamps are supplied by the caller in virtual time — engine
+// cycles or DES microseconds — never read from a clock, so traces are
+// bit-identical across runs.
+//
+// Each track becomes one "thread" in the trace (tid assigned by sorted
+// track name); events within a track keep append order. Sweep jobs write
+// to disjoint tracks (their collectors are scoped per config), so the
+// rendered trace does not depend on worker interleaving.
+type Tracer struct {
+	mu     sync.Mutex
+	tracks map[string]*track
+	names  []string // all map keys, kept so rendering never ranges a map
+}
+
+type track struct {
+	events []traceEvent
+}
+
+type traceEvent struct {
+	name string
+	ph   string // "X" complete span, "i" instant
+	ts   float64
+	dur  float64
+	args map[string]interface{}
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{tracks: make(map[string]*track)}
+}
+
+func (t *Tracer) emit(trackName string, ev traceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	tr, ok := t.tracks[trackName]
+	if !ok {
+		tr = &track{}
+		t.tracks[trackName] = tr
+		t.names = append(t.names, trackName)
+	}
+	tr.events = append(tr.events, ev)
+	t.mu.Unlock()
+}
+
+// Span records a complete span [ts, ts+dur] on the given track. args may
+// be nil; values must be JSON-encodable.
+func (t *Tracer) Span(trackName, name string, ts, dur float64, args map[string]interface{}) {
+	t.emit(trackName, traceEvent{name: name, ph: "X", ts: ts, dur: dur, args: args})
+}
+
+// Instant records a point event at ts on the given track.
+func (t *Tracer) Instant(trackName, name string, ts float64, args map[string]interface{}) {
+	t.emit(trackName, traceEvent{name: name, ph: "i", ts: ts, args: args})
+}
+
+// jsonEvent is the trace_event wire form.
+type jsonEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteJSON renders the trace as a Chrome trace_event JSON object, one
+// event per line. Tracks are sorted by name and numbered from tid 1;
+// thread_name metadata events carry the track names. encoding/json sorts
+// map keys, so identical recorded events render to identical bytes.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	names := make([]string, len(t.names))
+	copy(names, t.names)
+	sort.Strings(names)
+	// Snapshot event slices under the lock; traceEvent values are
+	// immutable once appended.
+	events := make([][]traceEvent, len(names))
+	for i, n := range names {
+		events[i] = t.tracks[n].events
+	}
+	t.mu.Unlock()
+
+	if _, err := fmt.Fprint(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	line := func(ev jsonEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err = fmt.Fprintf(w, "%s%s", sep, b)
+		return err
+	}
+	if err := line(jsonEvent{Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]interface{}{"name": "simdht-bench"}}); err != nil {
+		return err
+	}
+	for i, n := range names {
+		if err := line(jsonEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]interface{}{"name": n}}); err != nil {
+			return err
+		}
+	}
+	for i := range names {
+		for _, ev := range events[i] {
+			je := jsonEvent{Name: ev.name, Ph: ev.ph, Pid: 1, Tid: i + 1, Ts: ev.ts, Args: ev.args}
+			if ev.ph == "X" {
+				d := ev.dur
+				je.Dur = &d
+			}
+			if ev.ph == "i" {
+				je.S = "t"
+			}
+			if err := line(je); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprint(w, "\n]}\n")
+	return err
+}

@@ -1,0 +1,26 @@
+package obs
+
+import "time"
+
+// This file is the one sanctioned wall-clock site in the module.
+//
+// Everything SimdHT-Bench *simulates* runs on virtual time and must be
+// deterministic — determlint bans time.Now/Since/Until in the scoped
+// packages for that reason. But profiling the harness itself (how long a
+// sweep took on this machine, -sweepstats) genuinely needs a wall clock.
+// Rather than scatter lint suppressions at every call site, the clock
+// lives here behind WallNow, determlint carves out an explicit allowance
+// for this single function, and callers use obs.WallNow/obs.WallSince.
+// Wall-clock readings must never feed a deterministic artifact (tables,
+// CSVs, traces, metrics files) — only profiling output on stderr.
+
+// WallNow returns the current wall-clock time, for harness profiling only.
+func WallNow() time.Time {
+	return time.Now()
+}
+
+// WallSince returns wall-clock time elapsed since t, for harness profiling
+// only.
+func WallSince(t time.Time) time.Duration {
+	return WallNow().Sub(t)
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 )
 
@@ -85,6 +86,24 @@ func (s *Stats) Table() *report.Table {
 	return t
 }
 
+// Record publishes the sweep timings onto an obs registry as profiling
+// metrics (sweep_* series, one labeled gauge per job). Like Table, the
+// values are wall-clock and belong on stderr or in a profiling dump —
+// never merged into a deterministic -metrics artifact.
+func (s *Stats) Record(reg *obs.Registry) {
+	reg.Gauge("sweep_workers").Set(float64(s.Workers))
+	reg.Counter("sweep_jobs_total").Add(uint64(len(s.Jobs)))
+	reg.Gauge("sweep_elapsed_ms").Set(s.Elapsed.Seconds() * 1e3)
+	reg.Gauge("sweep_serial_ms").Set(s.SerialWall().Seconds() * 1e3)
+	reg.Gauge("sweep_speedup").Set(s.Speedup())
+	for _, j := range s.Jobs {
+		label := obs.Label{Key: "job", Value: fmt.Sprintf("%03d %s", j.Index, j.Label)}
+		reg.Gauge("sweep_job_wall_ms", label).Set(j.Wall.Seconds() * 1e3)
+		reg.Gauge("sweep_job_queue_ms", label).Set(j.Queue.Seconds() * 1e3)
+		reg.Gauge("sweep_job_worker", label).Set(float64(j.Worker))
+	}
+}
+
 // Run executes the jobs on a pool of `workers` goroutines and returns their
 // results in job order. workers <= 0 uses GOMAXPROCS; workers == 1 runs the
 // jobs inline, sequentially, on the calling goroutine.
@@ -105,18 +124,18 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	stats := &Stats{Workers: workers, Jobs: make([]JobStat, len(jobs))}
-	//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
-	start := time.Now()
+	// Wall-clock readings go through obs.WallNow — the module's single
+	// sanctioned profiling clock — and feed only the -sweepstats report,
+	// never golden output.
+	start := obs.WallNow()
 
 	exec := func(i, worker int) {
 		st := &stats.Jobs[i]
 		st.Index, st.Label, st.Worker = i, jobs[i].Label, worker
-		//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
-		t0 := time.Now()
+		t0 := obs.WallNow()
 		st.Queue = t0.Sub(start)
 		results[i], errs[i] = jobs[i].Run()
-		//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
-		st.Wall = time.Since(t0)
+		st.Wall = obs.WallSince(t0)
 	}
 
 	if workers == 1 {
@@ -141,8 +160,7 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 		close(queue)
 		wg.Wait()
 	}
-	//lint:ignore determlint wall clock feeds the -sweepstats profiling table only, never golden output
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = obs.WallSince(start)
 
 	for i, err := range errs {
 		if err != nil {

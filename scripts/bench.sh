@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite and snapshot the results,
+# establishing the repo's performance trajectory.
+#
+# Emits two artifacts (default basename: BENCH_baseline at the repo root):
+#
+#   <out>.txt  — raw `go test -bench` output, the exact format benchstat
+#                consumes: `benchstat BENCH_baseline.txt new.txt`
+#   <out>.json — the same results parsed into JSON; each entry keeps the
+#                raw benchmark line so the benchstat input can always be
+#                recovered from the committed baseline.
+#
+# Usage: scripts/bench.sh [out-basename]
+# Env:   GO=go COUNT=1 BENCHTIME=1x
+#
+# The default -benchtime 1x favors a fast, deterministic-workload pass (the
+# simulator is seeded, so each iteration does identical work); raise COUNT
+# and BENCHTIME for statistically meaningful comparisons.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+OUT=${1:-BENCH_baseline}
+COUNT=${COUNT:-1}
+BENCHTIME=${BENCHTIME:-1x}
+
+$GO test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$OUT.txt"
+
+awk '
+BEGIN { printf "{\n  \"format\": \"go test -bench\",\n  \"benchmarks\": [\n" }
+/^Benchmark/ && /ns\/op/ {
+    line = $0
+    gsub(/\\/, "\\\\", line); gsub(/"/, "\\\"", line); gsub(/\t/, "\\t", line)
+    printf "%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"line\":\"%s\"}",
+        sep, $1, $2, $3, line
+    sep = ",\n"
+}
+END { printf "\n  ]\n}\n" }
+' "$OUT.txt" > "$OUT.json"
+
+echo "wrote $OUT.txt and $OUT.json"

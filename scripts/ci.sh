@@ -27,4 +27,20 @@ $GO test ./...
 echo "==> go test -race"
 $GO test -race ./...
 
+# CLI smoke: run both binaries end-to-end with -trace/-metrics and diff the
+# artifacts against the committed goldens, so the flag plumbing (not just the
+# library path the Go tests exercise) is pinned byte-for-byte.
+echo "==> CLI smoke (-trace/-metrics vs goldens)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+$GO run ./cmd/simdhtbench -queries 400 -seed 1 \
+    -trace "$tmp/fig7a.json" -metrics "$tmp/fig7a.csv" fig7a >/dev/null
+diff "$tmp/fig7a.json" internal/experiments/testdata/obs_fig7a_trace.golden.json
+diff "$tmp/fig7a.csv" internal/experiments/testdata/obs_fig7a_metrics.golden.csv
+$GO run ./cmd/kvsbench -items 2000 -workers 2 -clients 2 -requests 20 \
+    -batches 8 -seed 7 \
+    -trace "$tmp/fig11a.json" -metrics "$tmp/fig11a.csv" fig11a >/dev/null
+diff "$tmp/fig11a.json" internal/experiments/testdata/obs_fig11a_trace.golden.json
+diff "$tmp/fig11a.csv" internal/experiments/testdata/obs_fig11a_metrics.golden.csv
+
 echo "==> ci.sh: all checks passed"
