@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint check bench clean
+.PHONY: build test race vet lint check bench fuzz-smoke clean
 
 # The tier-1 gate: everything CI (and a reviewer) needs to trust a change.
 check: build vet lint test race
@@ -26,6 +27,12 @@ lint:
 # scripts/bench.sh for knobs and the benchstat workflow).
 bench:
 	sh scripts/bench.sh
+
+# Short native-fuzz pass over the delivery and Multi-Get paths (seed corpora
+# under testdata/fuzz/). Bump FUZZTIME for a longer hunt.
+fuzz-smoke:
+	$(GO) test ./internal/netsim -fuzz FuzzNetsimDeliver -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/kvs -fuzz FuzzMultiGet -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

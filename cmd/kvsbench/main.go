@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	kvsbench [flags] [fig11a|fig11b|etc|cluster|single|all]
+//	kvsbench [flags] [fig11a|fig11b|etc|cluster|fault-sweep|single|all]
 //
 // `single` runs one backend/batch combination (see -backend / -batch) and
 // prints the full result line.
+//
+// Fault injection: -faults arms a deterministic fault plan (message
+// drop/dup/delay on the fabric, crash/slowdown windows and insert pressure
+// on the server, timeout/retry/degradation on the client) and `fault-sweep`
+// measures goodput against injected loss rates. All fault timing is
+// virtual, so faulty runs stay byte-identical across runs and -parallel
+// settings.
 //
 // Observability: -trace out.json writes a Chrome trace_event file (virtual
 // time: the discrete-event simulation clock, in microseconds) and -metrics
@@ -24,6 +31,7 @@ import (
 	"strings"
 
 	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
@@ -45,17 +53,24 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (virtual time = DES clock)")
 		metricsOut = flag.String("metrics", "", "write the metrics registry as CSV")
+
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'drop=0.1,crash=20us:10us,timeout=10us,retries=3,backoff=5us' (empty = no faults)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed); all fault timing is virtual, so output stays deterministic")
 	)
 	flag.Parse()
 
+	spec, err := fault.ParseSpec(*faults)
+	check(err)
 	opts := experiments.KVSOptions{
-		Items:    *items,
-		Workers:  *workers,
-		Clients:  *clients,
-		Requests: *requests,
-		Batches:  parseBatches(*batches),
-		Seed:     *seed,
-		Parallel: *parallel,
+		Items:     *items,
+		Workers:   *workers,
+		Clients:   *clients,
+		Requests:  *requests,
+		Batches:   parseBatches(*batches),
+		Seed:      *seed,
+		Parallel:  *parallel,
+		Faults:    spec,
+		FaultSeed: *faultSeed,
 	}
 	if *sstats {
 		opts.OnSweep = printSweepStats
@@ -95,6 +110,10 @@ func main() {
 			t, err := experiments.ClusterStudy(opts)
 			check(err)
 			emit(t, *csv)
+		case "fault-sweep":
+			t, err := experiments.FaultSweep(opts)
+			check(err)
+			emit(t, *csv)
 		case "single":
 			res, err := experiments.RunKVS(*backend, *batch, opts)
 			check(err)
@@ -102,7 +121,7 @@ func main() {
 			fmt.Printf("  phases per batch: pre=%.2fus lookup=%.2fus post=%.2fus (util %.2f)\n",
 				res.Breakdown.Pre*1e6, res.Breakdown.Lookup*1e6, res.Breakdown.Post*1e6, res.WorkerUtil)
 		default:
-			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, single, all)", cmd))
+			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, fault-sweep, single, all)", cmd))
 		}
 	}
 	check(writeObsArtifacts(col, *traceOut, *metricsOut))

@@ -32,6 +32,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
 	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
@@ -61,6 +62,9 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (virtual time = engine cycles)")
 		metricsOut = flag.String("metrics", "", "write the metrics registry as CSV")
+
+		faults    = flag.String("faults", "", "run: fault-injection spec; 'pressure=<items>@<period>' injects charged insert-pressure bursts into the measured window")
+		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed)")
 	)
 	flag.Parse()
 
@@ -153,11 +157,14 @@ func main() {
 			if *pattern == "skewed" {
 				pat = workload.Skewed
 			}
+			spec, err := fault.ParseSpec(*faults)
+			check(err)
 			params := core.Params{
 				Arch: model, N: *n, M: *m, KeyBits: *keyBits, ValBits: *valBits,
 				TableBytes: *size, LoadFactor: *lf, HitRate: *hitRate,
 				Pattern: pat, Queries: *queries, Cores: *cores, Seed: *seed,
-				Obs: col.Scope("config", "run"),
+				Obs:    col.Scope("config", "run"),
+				Faults: spec, FaultSeed: *faultSeed,
 			}
 			if *keytrace != "" {
 				f, err := os.Open(*keytrace)

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/fault"
+	"simdhtbench/internal/workload"
+)
+
+func pressureParams(spec fault.Spec) Params {
+	return Params{
+		Arch: arch.SkylakeClusterA(), N: 2, M: 4, KeyBits: 32, ValBits: 32,
+		TableBytes: 256 << 10, LoadFactor: 0.85, HitRate: 0.9,
+		Pattern: workload.Uniform, Queries: 1200, Seed: 3,
+		Faults: spec,
+	}
+}
+
+// TestRunPressureBites checks the table-substrate injection: insert-pressure
+// bursts inside the measured window cost charged cycles (kick chains at high
+// load factor), leave every variant's hit counts untouched (pressure keys
+// are odd — guaranteed transients), and surface in the Measurement.
+func TestRunPressureBites(t *testing.T) {
+	base, err := Run(pressureParams(fault.Spec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := fault.ParseSpec("pressure=32@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(pressureParams(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scalar.PressureInserted == 0 {
+		t.Fatal("pressure configured but no items inserted")
+	}
+	if r.Scalar.CyclesPerLookup <= base.Scalar.CyclesPerLookup {
+		t.Errorf("pressure did not cost cycles: %.2f vs healthy %.2f",
+			r.Scalar.CyclesPerLookup, base.Scalar.CyclesPerLookup)
+	}
+	// Pressure items are transients: hit counts match the healthy run and
+	// stay consistent across variants.
+	if r.Scalar.Hits != base.Scalar.Hits {
+		t.Errorf("pressure changed scalar hits: %d vs %d", r.Scalar.Hits, base.Scalar.Hits)
+	}
+	for _, v := range r.Vector {
+		if v.Hits != r.Scalar.Hits {
+			t.Errorf("%s found %d hits under pressure, scalar found %d", v.Choice, v.Hits, r.Scalar.Hits)
+		}
+		if v.PressureInserted != r.Scalar.PressureInserted {
+			t.Errorf("%s applied %d pressure items, scalar %d — plans not identically seeded",
+				v.Choice, v.PressureInserted, r.Scalar.PressureInserted)
+		}
+	}
+}
+
+// TestRunPressureDeterministic repeats a pressured run and requires
+// bit-identical cycle counts.
+func TestRunPressureDeterministic(t *testing.T) {
+	spec, err := fault.ParseSpec("pressure=16@10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		r, err := Run(pressureParams(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Scalar.CyclesPerLookup != b.Scalar.CyclesPerLookup {
+		t.Error("pressured scalar cycles diverged across identical runs")
+	}
+	for i := range a.Vector {
+		if a.Vector[i].CyclesPerLookup != b.Vector[i].CyclesPerLookup {
+			t.Errorf("pressured vector %d cycles diverged", i)
+		}
+	}
+}

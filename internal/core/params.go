@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"simdhtbench/internal/arch"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
 	"simdhtbench/internal/workload"
 )
@@ -138,6 +139,18 @@ type Params struct {
 	// Attaching a collector never changes any measured value; nil is the
 	// zero-overhead default.
 	Obs *obs.Collector
+
+	// Faults, when it configures pressure, injects transient insert
+	// pressure into the measured window: every 256 measured queries a
+	// burst of PressureItems ephemeral odd keys is inserted (charged — the
+	// kick chains the spike forces cost cycles) and removed again. Each
+	// variant draws from a fresh identically-seeded plan, so the injection
+	// is deterministic and identical across variants. The zero Spec
+	// changes nothing.
+	Faults fault.Spec
+
+	// FaultSeed seeds the fault plan; 0 falls back to Seed.
+	FaultSeed int64
 }
 
 // withDefaults returns a copy with zero fields resolved.
@@ -165,6 +178,9 @@ func (p Params) withDefaults() (Params, error) {
 	}
 	if p.TableBytes <= 0 {
 		return p, fmt.Errorf("core: Params.TableBytes is required")
+	}
+	if p.FaultSeed == 0 {
+		p.FaultSeed = p.Seed
 	}
 	return p, nil
 }

@@ -29,6 +29,13 @@ type Measurement struct {
 	MemCyclesPerLookup float64
 	OpCycles           map[arch.OpClass]float64
 
+	// PressureInserted/PressureFailed count the transient insert-pressure
+	// items applied inside the measured window (Params.Faults); both zero
+	// without an armed fault plan. Failed inserts hit table-full after
+	// exhausting their kick chains — still charged.
+	PressureInserted int
+	PressureFailed   int
+
 	// CacheLevels is the measured window's per-level hit/miss traffic,
 	// outermost level first, with a final DRAM entry (fills only). It
 	// feeds the -breakdown cache column.
@@ -198,7 +205,38 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 	run(e, 0, p.Warmup)
 	e.SetCharging(true)
 	e.ResetCycles()
-	hits := run(e, p.Warmup, p.Queries)
+
+	// Each variant gets a fresh identically-seeded plan, so every variant
+	// draws the same pressure keys at the same points in its stream.
+	plan := p.Faults.NewPlan(p.FaultSeed)
+	var hits, pressured, pressFailed int
+	if items := plan.PressureItems(); items > 0 {
+		// Chunk the measured window and spike the load factor between
+		// chunks: PressureItems ephemeral odd keys (never colliding with
+		// FillRandom's even keys) are inserted charged — the kick chains
+		// the spike forces cost measured cycles — then removed uncharged.
+		const chunk = 256
+		mask := table.L.KeyMask()
+		for from := p.Warmup; from < p.Warmup+p.Queries; from += chunk {
+			n := min(chunk, p.Warmup+p.Queries-from)
+			hits += run(e, from, n)
+			burst := make([]uint64, 0, items)
+			for i := 0; i < items; i++ {
+				key := plan.PressureKey(mask)
+				if err := table.InsertCharged(e, key, key); err != nil {
+					pressFailed++
+					continue
+				}
+				pressured++
+				burst = append(burst, key)
+			}
+			for _, key := range burst {
+				table.Delete(key)
+			}
+		}
+	} else {
+		hits = run(e, p.Warmup, p.Queries)
+	}
 
 	cycles := e.Cycles()
 	seconds := cycles / (p.Arch.Frequency(width) * 1e9)
@@ -208,6 +246,8 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 		LookupsPerSec:      float64(p.Queries) / seconds,
 		MemCyclesPerLookup: e.MemCycles() / float64(p.Queries),
 		OpCycles:           make(map[arch.OpClass]float64),
+		PressureInserted:   pressured,
+		PressureFailed:     pressFailed,
 	}
 	for op, cy := range e.OpCycles() {
 		m.OpCycles[op] = cy / float64(p.Queries)

@@ -41,11 +41,10 @@ func (t *Table) InsertCharged(e *engine.Engine, key, val uint64) error {
 
 	// All candidate slots occupied: run the functional insert (which
 	// records its BFS expansion and relocation path) and charge exactly
-	// the work it performed.
+	// the work it performed — including on failure. A full table is only
+	// discovered by exhausting the bounded BFS frontier, so the attempted
+	// kicks are real work the caller paid for before ErrFull came back.
 	err := t.Insert(key, val)
-	if err != nil {
-		return err
-	}
 	// BFS frontier: every expanded node scanned one bucket's slots.
 	for n := 0; n < t.lastBFSNodes; n++ {
 		e.Charge(arch.OpScalarLoadOp, arch.WidthScalar)
@@ -53,12 +52,17 @@ func (t *Table) InsertCharged(e *engine.Engine, key, val uint64) error {
 		e.ChargeCycles(float64(t.L.M) * arch.SlotEmptyCheckCycles)
 	}
 	// Relocations: read the victim, write it to its alternate bucket.
+	// (On ErrFull no relocation happened — the path was never applied —
+	// so this loop charges nothing.)
 	for _, mv := range t.lastMoves {
 		e.Charge(arch.OpScalarLoadOp, arch.WidthScalar)
 		e.MemAccess(t.Arena.Addr(t.L.slotOff(mv.fromBucket, mv.fromSlot)), t.L.SlotBytes())
 		e.ScalarHash()
 		e.Charge(arch.OpScalarStoreOp, arch.WidthScalar)
 		e.MemAccess(t.Arena.Addr(t.L.slotOff(mv.toBucket, mv.toSlot)), t.L.SlotBytes())
+	}
+	if err != nil {
+		return err
 	}
 	// Final store of the new key into the freed root slot.
 	e.Charge(arch.OpScalarStoreOp, arch.WidthScalar)

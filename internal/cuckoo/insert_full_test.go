@@ -1,0 +1,99 @@
+package cuckoo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestInsertFullPinning pins the insert failure path at an extreme load
+// factor: when the bounded BFS eviction search exhausts its frontier the
+// insert returns ErrFull — it never loops or panics — and the table is
+// left exactly as it was.
+func TestInsertFullPinning(t *testing.T) {
+	// A small non-bucketized (2,1) table saturates near 50% occupancy, so
+	// driving the fill to 1.0 guarantees FillRandom stopped on ErrFull.
+	l := Layout{N: 2, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 5}
+	tb := newTable(t, l)
+	rng := rand.New(rand.NewSource(11))
+	keys, lf := tb.FillRandom(1.0, rng)
+	if lf >= 1.0 {
+		t.Fatalf("(2,1) table reached LF %.2f; expected saturation below 1", lf)
+	}
+
+	count := tb.Count()
+	var full error
+	for i := 0; i < 20000 && full == nil; i++ {
+		k := (rng.Uint64() & l.KeyMask()) &^ 1
+		if _, dup := tb.Lookup(k); dup || k == 0 {
+			continue
+		}
+		if err := tb.Insert(k, PayloadFor(k, l.ValBits)); err != nil {
+			full = err
+			if !errors.Is(err, ErrFull) {
+				t.Fatalf("saturated insert returned %v, want ErrFull", err)
+			}
+			if bfs, moves := tb.LastEvictionStats(); bfs == 0 || moves != 0 {
+				t.Errorf("failed insert: bfs=%d moves=%d, want expanded frontier and no applied relocations", bfs, moves)
+			}
+		} else {
+			count++
+		}
+	}
+	if full == nil {
+		t.Fatal("never hit ErrFull on a saturated table")
+	}
+
+	// The failed insert must not have disturbed the table.
+	if tb.Count() != count {
+		t.Errorf("count changed across failed insert: %d != %d", tb.Count(), count)
+	}
+	for _, k := range keys {
+		if v, ok := tb.Lookup(k); !ok || v != PayloadFor(k, l.ValBits) {
+			t.Fatalf("stored key %#x lost or corrupted after failed insert", k)
+		}
+	}
+}
+
+// TestInsertChargedFullChargesKicks pins the charging contract of the
+// failure path: a table-full insert charges the attempted BFS kick work —
+// it is not free just because it failed.
+func TestInsertChargedFullChargesKicks(t *testing.T) {
+	l := Layout{N: 2, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 5}
+	tb := newTable(t, l)
+	rng := rand.New(rand.NewSource(12))
+	tb.FillRandom(1.0, rng)
+
+	// Baseline: an insert into an empty table charges only the candidate
+	// scan and one store.
+	empty := newTable(t, l)
+	eEmpty := enginForTest()
+	if err := empty.InsertCharged(eEmpty, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	cheap := eEmpty.Cycles()
+
+	for i := 0; i < 20000; i++ {
+		k := (rng.Uint64() & l.KeyMask()) &^ 1
+		if _, dup := tb.Lookup(k); dup || k == 0 {
+			continue
+		}
+		e := enginForTest()
+		err := tb.InsertCharged(e, k, PayloadFor(k, l.ValBits))
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrFull) {
+			t.Fatalf("charged saturated insert returned %v, want ErrFull", err)
+		}
+		bfs, _ := tb.LastEvictionStats()
+		if bfs == 0 {
+			t.Fatal("ErrFull without an expanded BFS frontier")
+		}
+		if e.Cycles() <= cheap {
+			t.Errorf("failed insert charged %.0f cycles, not more than a trivial insert's %.0f — attempted kicks went uncharged", e.Cycles(), cheap)
+		}
+		return
+	}
+	t.Fatal("never hit ErrFull on a saturated table")
+}

@@ -23,6 +23,12 @@ type Sim struct {
 	seq    uint64
 	events eventHeap
 
+	// Event-budget watchdog (SetEventBudget): Step refuses to dispatch
+	// past the budget, bounding runaway event loops (e.g. a retry storm
+	// under fault injection) deterministically.
+	dispatched uint64
+	budget     uint64
+
 	// Probe, when non-nil, observes each dispatched event (obs layer).
 	Probe obs.SimProbe
 }
@@ -52,13 +58,34 @@ func (s *Sim) After(delay float64, fn func()) {
 	s.At(s.now+delay, fn)
 }
 
-// Step runs the next event; it reports whether one existed.
+// SetEventBudget arms the watchdog: once n events have been dispatched,
+// Step stops (and Run returns) instead of dispatching more, so a runaway
+// event loop ends in a detectable state (BudgetExhausted) rather than a
+// hang. The cutoff depends only on the event count, so it is as
+// deterministic as the simulation itself. n == 0 disables the watchdog.
+func (s *Sim) SetEventBudget(n uint64) { s.budget = n }
+
+// Dispatched returns the number of events dispatched so far.
+func (s *Sim) Dispatched() uint64 { return s.dispatched }
+
+// BudgetExhausted reports whether the watchdog stopped the simulation:
+// the budget was hit with events still pending.
+func (s *Sim) BudgetExhausted() bool {
+	return s.budget > 0 && s.dispatched >= s.budget && s.events.Len() > 0
+}
+
+// Step runs the next event; it reports whether one existed (and, with an
+// event budget armed, whether the budget still allowed it).
 func (s *Sim) Step() bool {
 	if s.events.Len() == 0 {
 		return false
 	}
+	if s.budget > 0 && s.dispatched >= s.budget {
+		return false
+	}
 	ev := heap.Pop(&s.events).(*event)
 	s.now = ev.at
+	s.dispatched++
 	if s.Probe != nil {
 		s.Probe.EventRun(ev.at)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/des"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/kvs"
 	"simdhtbench/internal/mem"
 	"simdhtbench/internal/memslap"
@@ -39,6 +40,15 @@ type KVSOptions struct {
 	// traces. Each (backend, batch) job gets its own scope, so artifacts
 	// are byte-identical at every Parallel setting.
 	Obs *obs.Collector
+
+	// Faults, when enabled, compiles to a fault.Plan per job (seeded with
+	// FaultSeed) injecting network drop/dup/delay, server crash/slowdown
+	// windows and insert pressure, and arming the client's timeout/retry
+	// protocol. The zero Spec injects nothing and changes nothing.
+	Faults fault.Spec
+
+	// FaultSeed seeds the fault plan's RNG; 0 falls back to Seed.
+	FaultSeed int64
 }
 
 func (o KVSOptions) withDefaults() KVSOptions {
@@ -59,6 +69,9 @@ func (o KVSOptions) withDefaults() KVSOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 7
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = o.Seed
 	}
 	return o
 }
@@ -82,11 +95,26 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 	if etc {
 		scope += " etc" // keep ETC series distinct from a same-run Fig. 11
 	}
+	if o.Faults.Enabled() {
+		// Same-config jobs at different fault settings (the fault sweep)
+		// must land in disjoint obs scopes, or parallel runs would race on
+		// shared series.
+		scope += " faults=" + o.Faults.String()
+	}
 	col := o.Obs.Scope("config", scope)
+	plan := o.Faults.NewPlan(o.FaultSeed)
+	var faultProbe obs.FaultProbe
+	if plan != nil {
+		// Only an armed plan registers fault series: a fault-free run's
+		// metrics artifact must stay byte-identical to the pre-fault layer.
+		faultProbe = col.FaultProbe()
+	}
 	sim := des.New()
 	sim.Probe = col.SimProbe()
 	fabric := netsim.New(sim, netsim.EDR())
 	fabric.Probe = col.NetProbe()
+	fabric.Faults = plan
+	fabric.FaultProbe = faultProbe
 	space := mem.NewAddressSpace()
 	store := kvs.NewItemStore(space)
 
@@ -112,6 +140,10 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 
 	srv := kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, maxBatch, index, store)
 	srv.Probe = col.ServerProbe()
+	if plan != nil {
+		srv.Faults = plan.ForServer(0)
+		srv.FaultProbe = faultProbe
+	}
 	var keys [][]byte
 	if etc {
 		keys, err = memslap.LoadETC(srv, o.Items, o.Seed)
@@ -126,11 +158,13 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 		keyBytes = 0 // variable-size keys
 	}
 	return memslap.Run(sim, fabric, srv, keys, memslap.Config{
-		Clients:   o.Clients,
-		BatchSize: batch,
-		Requests:  o.Requests,
-		KeyBytes:  keyBytes,
-		Seed:      o.Seed,
+		Clients:    o.Clients,
+		BatchSize:  batch,
+		Requests:   o.Requests,
+		KeyBytes:   keyBytes,
+		Seed:       o.Seed,
+		Faults:     plan,
+		FaultProbe: faultProbe,
 	})
 }
 

@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "drop=0.05,dup=0.01,delayp=0.1,delay=5µs,crash=500µs:150µs,slow=2x@300µs:100µs,pressure=50@400µs,timeout=80µs,retries=2,backoff=20µs"
+	s, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Drop != 0.05 || s.Dup != 0.01 || s.DelayProb != 0.1 {
+		t.Errorf("probabilities: %+v", s)
+	}
+	if math.Abs(s.Delay-5e-6) > 1e-12 || math.Abs(s.CrashPeriod-500e-6) > 1e-12 || math.Abs(s.CrashDown-150e-6) > 1e-12 {
+		t.Errorf("durations: %+v", s)
+	}
+	if s.SlowFactor != 2 || s.PressureItems != 50 || s.Retries != 2 {
+		t.Errorf("windows: %+v", s)
+	}
+	// String renders canonically and re-parses to the same spec.
+	s2, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if s2 != s {
+		t.Errorf("round trip: %q -> %+v != %+v", s.String(), s2, s)
+	}
+}
+
+func TestParseSpecEmptyAndErrors(t *testing.T) {
+	s, err := ParseSpec("")
+	if err != nil || s.Enabled() {
+		t.Errorf("empty spec: %+v, %v", s, err)
+	}
+	for _, bad := range []string{
+		"drop=2",             // probability out of range
+		"drop",               // not key=value
+		"crash=100us",        // missing window duration
+		"crash=100us:100us",  // window not shorter than period
+		"slow=0.5x@1ms:10us", // factor <= 1
+		"pressure=0@1ms",     // non-positive items
+		"retries=-1",
+		"timeout=-5us",
+		"bogus=1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNilPlanIsNoFault(t *testing.T) {
+	var p *Plan
+	if p.DropMessage() || p.DuplicateMessage() || p.DelaySpike() != 0 {
+		t.Error("nil plan injected a network fault")
+	}
+	if p.CrashedAt(1) || p.SlowdownAt(1) != 1 {
+		t.Error("nil plan injected a server fault")
+	}
+	if p.PressureItems() != 0 || p.PressurePeriod() != 0 {
+		t.Error("nil plan requested pressure")
+	}
+	if p.Timeout() != DefaultTimeout || p.MaxRetries() != DefaultRetries {
+		t.Error("nil plan protocol defaults wrong")
+	}
+	if p.ForServer(3) != nil {
+		t.Error("ForServer on nil plan must stay nil")
+	}
+	if (Spec{}).NewPlan(1) != nil {
+		t.Error("zero spec must compile to a nil plan")
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	spec, err := ParseSpec("drop=0.3,dup=0.2,delayp=0.5,delay=1us,backoff=10us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64) []float64 {
+		p := spec.NewPlan(seed)
+		var out []float64
+		for i := 0; i < 200; i++ {
+			out = append(out, b2f(p.DropMessage()), p.DelaySpike(), b2f(p.DuplicateMessage()), p.BackoffFor(1+i%4))
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %g != %g", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical fault stream")
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestCrashWindows(t *testing.T) {
+	spec, _ := ParseSpec("crash=100µs:30µs")
+	p := spec.NewPlan(1)
+	// First period always healthy.
+	for _, tm := range []float64{0, 10e-6, 99e-6} {
+		if p.CrashedAt(tm) {
+			t.Errorf("crashed during the first (healthy) period at %g", tm)
+		}
+	}
+	for _, tc := range []struct {
+		at   float64
+		down bool
+	}{
+		{100e-6, true}, {129e-6, true}, {131e-6, false}, {199e-6, false},
+		{200e-6, true}, {235e-6, false},
+	} {
+		if got := p.CrashedAt(tc.at); got != tc.down {
+			t.Errorf("CrashedAt(%g) = %v, want %v", tc.at, got, tc.down)
+		}
+	}
+}
+
+func TestSlowWindowsAndStagger(t *testing.T) {
+	spec, _ := ParseSpec("slow=3x@100µs:50µs,crash=200µs:40µs")
+	p := spec.NewPlan(1)
+	if f := p.SlowdownAt(120e-6); f != 3 {
+		t.Errorf("inside slow window: factor %g, want 3", f)
+	}
+	if f := p.SlowdownAt(160e-6); f != 1 {
+		t.Errorf("outside slow window: factor %g, want 1", f)
+	}
+	// Staggered servers should not all crash at the same instant.
+	p0, p1 := p.ForServer(0), p.ForServer(1)
+	differs := false
+	for tm := 0.0; tm < 2e-3; tm += 5e-6 {
+		if p0.CrashedAt(tm) != p1.CrashedAt(tm) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("ForServer(0) and ForServer(1) crash windows fully aligned")
+	}
+	// And their RNG streams are independent but reproducible.
+	if p.ForServer(2).BackoffFor(1) != p.ForServer(2).BackoffFor(1) {
+		t.Error("ForServer streams are not reproducible")
+	}
+}
+
+func TestBackoffCappedExponential(t *testing.T) {
+	spec, _ := ParseSpec("backoff=10µs,retries=10")
+	p := spec.NewPlan(3)
+	base := spec.Backoff
+	prev := 0.0
+	for attempt := 1; attempt <= 10; attempt++ {
+		b := p.BackoffFor(attempt)
+		if b < base || b >= base*backoffCap*1.5 {
+			t.Errorf("attempt %d: backoff %g outside [base, cap*1.5)", attempt, b)
+		}
+		if attempt <= 3 && b <= prev/2.5 {
+			t.Errorf("attempt %d: backoff %g not growing from %g", attempt, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestPressureKeyOddUnderMask(t *testing.T) {
+	spec, _ := ParseSpec("pressure=10@100µs")
+	p := spec.NewPlan(5)
+	mask := uint64(1<<16 - 1)
+	for i := 0; i < 100; i++ {
+		k := p.PressureKey(mask)
+		if k&1 != 1 {
+			t.Fatalf("pressure key %#x is even", k)
+		}
+		if k&^mask != 0 {
+			t.Fatalf("pressure key %#x exceeds mask %#x", k, mask)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package kvs
+
+import "fmt"
+
+// PartialError is the structured degradation result of a Multi-Get under
+// faults: the client exhausted its bounded retries for at least one
+// sub-batch and returns the keys it could serve instead of hanging,
+// panicking, or silently claiming full success. Served and Missing count
+// keys; Retries and Timeouts total the protocol events the request spent
+// across all of its sub-batches.
+type PartialError struct {
+	Served   int
+	Missing  int
+	Retries  int
+	Timeouts int
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("kvs: partial Multi-Get: served %d of %d keys (%d retries, %d timeouts)",
+		e.Served, e.Served+e.Missing, e.Retries, e.Timeouts)
+}

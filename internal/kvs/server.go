@@ -6,6 +6,7 @@ import (
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/des"
 	"simdhtbench/internal/engine"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
 )
 
@@ -59,6 +60,7 @@ type Server struct {
 	freeEng    []int
 	refScratch [][]uint32
 	hashScr    [][]uint32
+	maxBatch   int
 
 	// Accumulated stats.
 	Batches     uint64
@@ -67,21 +69,39 @@ type Server struct {
 	Evictions   uint64
 	PhaseTotals PhaseBreakdown
 
+	// Fault-injection stats.
+	CrashDrops       uint64 // requests dropped inside crash windows
+	Slowdowns        uint64 // batches stretched by a slow window
+	PressureInserted uint64 // transient pressure items inserted
+	PressureFailed   uint64 // pressure inserts that failed (full/collision)
+	pressureSeq      uint64 // deterministic ephemeral-key counter
+
 	// Probe, when non-nil, observes each processed batch with its phase
 	// breakdown (obs layer): one request span per batch on a per-worker
 	// track with pre/lookup/post children — Fig. 11b, but per request.
 	Probe obs.ServerProbe
+
+	// Faults, when non-nil, injects crash windows (requests silently
+	// dropped, as a dead server would), slow windows (service time
+	// stretched) and transient insert pressure. FaultProbe, when
+	// additionally non-nil, observes each injected fault.
+	Faults     *fault.Plan
+	FaultProbe obs.FaultProbe
 }
 
 // NewServer builds a server with `workers` worker threads on the given
 // architecture. maxBatch caps the Multi-Get size.
 func NewServer(sim *des.Sim, model *arch.Model, workers, maxBatch int, index Index, store *ItemStore) *Server {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
 	s := &Server{
-		Sim:     sim,
-		Arch:    model,
-		Workers: des.NewResource(sim, workers),
-		Index:   index,
-		Store:   store,
+		Sim:      sim,
+		Arch:     model,
+		Workers:  des.NewResource(sim, workers),
+		Index:    index,
+		Store:    store,
+		maxBatch: maxBatch,
 	}
 	for i := 0; i < workers; i++ {
 		s.engines = append(s.engines, engine.New(model, workers))
@@ -141,12 +161,31 @@ func (s *Server) Get(key []byte) ([]byte, bool) {
 // HandleMGet schedules a Multi-Get batch: it waits for a free worker,
 // charges the three pipeline phases on that worker's core, and delivers the
 // result after the simulated service time.
+//
+// Under an active fault plan, a request arriving inside a crash window is
+// silently dropped — a dead server sends nothing back, and recovering is
+// the client protocol's job — and a slow window stretches the batch's
+// service time by the plan's factor.
 func (s *Server) HandleMGet(keys [][]byte, done func(MGetResult)) {
+	if s.Faults.CrashedAt(s.Sim.Now()) {
+		s.CrashDrops++
+		if s.FaultProbe != nil {
+			s.FaultProbe.CrashDropped(s.Sim.Now())
+		}
+		return
+	}
 	s.Workers.Acquire(func() {
 		wi := s.freeEng[len(s.freeEng)-1]
 		s.freeEng = s.freeEng[:len(s.freeEng)-1]
 		res := s.processBatch(wi, keys)
 		service := res.Breakdown.Total()
+		if factor := s.Faults.SlowdownAt(s.Sim.Now()); factor > 1 {
+			service *= factor
+			s.Slowdowns++
+			if s.FaultProbe != nil {
+				s.FaultProbe.SlowdownApplied(factor, s.Sim.Now())
+			}
+		}
 		s.Sim.After(service, func() {
 			s.freeEng = append(s.freeEng, wi)
 			s.Workers.Release()
@@ -155,9 +194,31 @@ func (s *Server) HandleMGet(keys [][]byte, done func(MGetResult)) {
 	})
 }
 
-// processBatch runs the three phases on worker wi's engine and returns the
-// result with per-phase times.
+// processBatch serves a batch of any size by segmenting it into
+// maxBatch-sized chunks (the index scratch capacity), like a real server
+// splitting an oversized MGET. Batches within the cap — every batch the
+// experiment harness issues — take the single-chunk fast path untouched.
 func (s *Server) processBatch(wi int, keys [][]byte) MGetResult {
+	if len(keys) <= s.maxBatch {
+		return s.processChunk(wi, keys)
+	}
+	out := MGetResult{Values: make([][]byte, 0, len(keys))}
+	for from := 0; from < len(keys); from += s.maxBatch {
+		to := min(from+s.maxBatch, len(keys))
+		r := s.processChunk(wi, keys[from:to])
+		out.Values = append(out.Values, r.Values...)
+		out.Found += r.Found
+		out.RespBytes += r.RespBytes
+		out.Breakdown.Pre += r.Breakdown.Pre
+		out.Breakdown.Lookup += r.Breakdown.Lookup
+		out.Breakdown.Post += r.Breakdown.Post
+	}
+	return out
+}
+
+// processChunk runs the three phases on worker wi's engine and returns the
+// result with per-phase times.
+func (s *Server) processChunk(wi int, keys [][]byte) MGetResult {
 	e := s.engines[wi]
 	freq := s.Arch.Frequency(s.Index.Width()) * 1e9
 	hashes := s.hashScr[wi][:len(keys)]
@@ -230,6 +291,41 @@ func (s *Server) WarmCaches() {
 		s.Index.Warm(e)
 		s.Store.WarmHot(e, hotBudget)
 	}
+}
+
+// ApplyPressure transiently spikes the index's load factor: it inserts n
+// ephemeral items and removes them again, forcing eviction/kick chains at
+// high occupancy — the insert-pressure fault of a fault.Plan. Inserts that
+// fail (table full, hash collision) are counted, not fatal: a saturated
+// table refusing a set is exactly the condition being injected. Returns
+// the inserted and failed counts.
+func (s *Server) ApplyPressure(n int) (inserted, failed int) {
+	type ephemeral struct {
+		key []byte
+		ref uint32
+	}
+	eph := make([]ephemeral, 0, n)
+	value := []byte("fault-pressure")
+	for i := 0; i < n; i++ {
+		s.pressureSeq++
+		key := []byte(fmt.Sprintf("~fault/pressure-%016x", s.pressureSeq))
+		ref, err := s.Set(key, value)
+		if err != nil {
+			failed++
+			continue
+		}
+		inserted++
+		eph = append(eph, ephemeral{key, ref})
+	}
+	for _, it := range eph {
+		s.Index.Delete(s.Store, Hash32(it.key), it.key)
+		if err := s.Store.Delete(it.ref); err != nil {
+			panic(fmt.Sprintf("kvs: pressure cleanup: %v", err))
+		}
+	}
+	s.PressureInserted += uint64(inserted)
+	s.PressureFailed += uint64(failed)
+	return inserted, failed
 }
 
 // ResetStats clears the accumulated batch statistics (called after the

@@ -44,6 +44,14 @@ func TestDetermLint(t *testing.T) {
 		[]*lint.Analyzer{lint.DetermLint})
 }
 
+// TestDetermLintFault checks that the fault-injection layer is in the
+// determinism scope: an unseeded draw, a wall-clock window or a map-order
+// merge would silently break byte-identical fault timing.
+func TestDetermLintFault(t *testing.T) {
+	runWantCase(t, "simdhtbench/internal/fault/lintcase", "testdata/faultcase.go",
+		[]*lint.Analyzer{lint.DetermLint})
+}
+
 // TestDetermLintObsWallClock checks the internal/obs carve-out: WallNow's
 // body may read the clock (the single sanctioned profiling site); any
 // other wall-clock read in the obs subtree is still reported.

@@ -33,6 +33,7 @@ var DetermLint = &Analyzer{
 
 var determScope = []string{
 	"simdhtbench/internal/experiments",
+	"simdhtbench/internal/fault",
 	"simdhtbench/internal/sweep",
 	"simdhtbench/internal/report",
 	"simdhtbench/internal/obs",

@@ -1,0 +1,33 @@
+// Package lintcase is a determlint test fixture, loaded under the synthetic
+// import path simdhtbench/internal/fault/lintcase: the fault-injection layer
+// promises byte-identical fault timing, so it sits in the determinism scope
+// — no wall clocks, no global RNG, no map-order dependence.
+package lintcase
+
+import (
+	"math/rand"
+	"time"
+)
+
+// planDraw is the sanctioned pattern the real plan uses: a seeded generator
+// carried by the plan, drawn in event order.
+func planDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func unseededDrop() bool {
+	return rand.Float64() < 0.5 // want `global math/rand\.Float64`
+}
+
+func wallClockWindow() bool {
+	return time.Now().UnixNano()%2 == 0 // want `wall-clock read time\.Now`
+}
+
+func specMerge(windows map[string]float64) float64 {
+	total := 0.0
+	for _, w := range windows { // want `map iteration order is nondeterministic`
+		total += w
+	}
+	return total
+}

@@ -22,6 +22,16 @@ type ClusterResults struct {
 	P99Latency     float64
 	HitRate        float64
 	AvgFanout      float64 // servers touched per Multi-Get
+
+	// Degradation-protocol accounting (all zero with a nil fault plan).
+	// A Multi-Get is degraded when any of its sub-batches exhausted its
+	// retries; KeysMissing counts the abandoned keys, and GoodputKeys is
+	// the throughput of keys actually returned.
+	Retries     uint64
+	Timeouts    uint64
+	Degraded    uint64
+	KeysMissing uint64
+	GoodputKeys float64
 }
 
 // String renders a one-line summary.
@@ -63,7 +73,8 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 	total := cfg.Warmup + cfg.Requests
 	issued, completed := 0, 0
 	var latencies []float64
-	var hits, served uint64
+	var hits, served, returned uint64
+	var retries, timeouts, degraded, missing uint64
 	var fanoutSum int
 	var measStart, measEnd float64
 
@@ -87,14 +98,26 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 		parts := ring.Split(batch)
 		pending := len(parts)
 		foundTotal := 0
+		servedKeys, missingKeys := 0, 0
+		reqRetries, reqTimeouts := 0, 0
 		sent := sim.Now()
 
 		finish := func() {
 			completed++
+			if missingKeys > 0 && cfg.FaultProbe != nil {
+				cfg.FaultProbe.BatchDegraded(servedKeys, missingKeys, sim.Now())
+			}
 			if seq > cfg.Warmup {
 				latencies = append(latencies, sim.Now()-sent)
 				hits += uint64(foundTotal)
 				served += uint64(len(batch))
+				returned += uint64(servedKeys)
+				retries += uint64(reqRetries)
+				timeouts += uint64(reqTimeouts)
+				if missingKeys > 0 {
+					degraded++
+					missing += uint64(missingKeys)
+				}
 				fanoutSum += len(parts)
 				measEnd = sim.Now()
 			} else if seq == cfg.Warmup {
@@ -106,33 +129,41 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 			issue(clientEP)
 		}
 
-		for s, sub := range parts {
-			s, sub := s, sub
-			reqBytes := 24
-			for _, k := range sub {
-				reqBytes += len(k) + cfg.RequestOverheadBytes
+		// Iterate sub-batches in server order (not map order) so the issue
+		// sequence — and with it every fault-RNG draw — is deterministic.
+		for s := 0; s < len(servers); s++ {
+			sub, ok := parts[s]
+			if !ok {
+				continue
 			}
-			clientEP.Send(serverEPs[s], reqBytes, func() {
-				servers[s].HandleMGet(sub, func(res kvs.MGetResult) {
-					serverEPs[s].Send(clientEP, res.RespBytes, func() {
+			s, sub := s, sub
+			sendMGet(sim, clientEP, serverEPs[s], servers[s], sub,
+				requestBytes(sub, cfg.RequestOverheadBytes), cfg.Faults, cfg.FaultProbe,
+				func(res kvs.MGetResult, ok bool, nRetries, nTimeouts int) {
+					reqRetries += nRetries
+					reqTimeouts += nTimeouts
+					if ok {
 						foundTotal += res.Found
-						pending--
-						if pending == 0 {
-							finish()
-						}
-					})
+						servedKeys += len(sub)
+					} else {
+						missingKeys += len(sub)
+					}
+					pending--
+					if pending == 0 {
+						finish()
+					}
 				})
-			})
 		}
 	}
 
+	for _, srv := range servers {
+		schedulePressure(sim, srv, cfg.FaultProbe, func() bool { return completed >= total })
+	}
 	for c := 0; c < cfg.Clients; c++ {
 		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)))
 	}
-	sim.Run()
-
-	if completed < total {
-		return ClusterResults{}, fmt.Errorf("memslap: deadlock — completed %d of %d requests", completed, total)
+	if err := runToCompletion(sim, total, func() int { return completed }); err != nil {
+		return ClusterResults{}, err
 	}
 
 	elapsed := measEnd - measStart
@@ -154,6 +185,11 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 		P99Latency:     latencies[min(n-1, n*99/100)],
 		HitRate:        float64(hits) / float64(served),
 		AvgFanout:      float64(fanoutSum) / float64(n),
+		Retries:        retries,
+		Timeouts:       timeouts,
+		Degraded:       degraded,
+		KeysMissing:    missing,
+		GoodputKeys:    float64(returned) / elapsed,
 	}, nil
 }
 

@@ -18,8 +18,10 @@ import (
 	"sort"
 
 	"simdhtbench/internal/des"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/kvs"
 	"simdhtbench/internal/netsim"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/workload"
 )
 
@@ -35,6 +37,17 @@ type Config struct {
 
 	// RequestOverheadBytes models per-key framing in the MGet request.
 	RequestOverheadBytes int
+
+	// Faults, when non-nil, arms the client degradation protocol —
+	// per-request virtual-time timeouts, bounded retries with capped
+	// exponential backoff and seeded jitter, graceful degradation when
+	// retries are exhausted — and the server-side pressure schedule. With
+	// a nil plan the run executes the exact event sequence it always did.
+	Faults *fault.Plan
+
+	// FaultProbe, when non-nil, observes retries, timeouts, degraded
+	// batches and pressure bursts (obs layer).
+	FaultProbe obs.FaultProbe
 }
 
 // Results aggregates a run.
@@ -51,6 +64,15 @@ type Results struct {
 	HitRate        float64
 	Breakdown      kvs.PhaseBreakdown // average per batch
 	WorkerUtil     float64
+
+	// Degradation-protocol accounting (all zero with a nil fault plan).
+	// GoodputKeys is the throughput of keys actually returned to clients:
+	// degraded Multi-Gets contribute their latency but no goodput.
+	Retries     uint64
+	Timeouts    uint64
+	Degraded    uint64 // measured Multi-Gets that exhausted their retries
+	KeysMissing uint64
+	GoodputKeys float64
 }
 
 // String renders a one-line summary.
@@ -123,7 +145,8 @@ func Run(sim *des.Sim, fabric *netsim.Fabric, srv *kvs.Server, keys [][]byte, cf
 	var latencies []float64
 	var measStart float64
 	var measEnd float64
-	var hits, served uint64
+	var hits, served, returned uint64
+	var retries, timeouts, degraded, missing uint64
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	zipf, err := workload.NewZipf(len(keys), theta, rng)
@@ -139,38 +162,43 @@ func Run(sim *des.Sim, fabric *netsim.Fabric, srv *kvs.Server, keys [][]byte, cf
 		issued++
 		seq := issued
 		batch := make([][]byte, cfg.BatchSize)
-		reqBytes := 24
 		for i := range batch {
 			batch[i] = keys[zipf.Next()]
-			reqBytes += len(batch[i]) + cfg.RequestOverheadBytes
 		}
 		sent := sim.Now()
-		clientEP.Send(serverEP, reqBytes, func() {
-			srv.HandleMGet(batch, func(res kvs.MGetResult) {
-				serverEP.Send(clientEP, res.RespBytes, func() {
-					completed++
-					if seq > cfg.Warmup {
-						latencies = append(latencies, sim.Now()-sent)
-						hits += uint64(res.Found)
-						served += uint64(len(batch))
-						measEnd = sim.Now()
-					} else if seq == cfg.Warmup {
-						measStart = sim.Now()
-						srv.ResetStats()
+		sendMGet(sim, clientEP, serverEP, srv, batch, requestBytes(batch, cfg.RequestOverheadBytes),
+			cfg.Faults, cfg.FaultProbe, func(res kvs.MGetResult, ok bool, nRetries, nTimeouts int) {
+				completed++
+				if !ok && cfg.FaultProbe != nil {
+					cfg.FaultProbe.BatchDegraded(0, len(batch), sim.Now())
+				}
+				if seq > cfg.Warmup {
+					latencies = append(latencies, sim.Now()-sent)
+					hits += uint64(res.Found)
+					served += uint64(len(batch))
+					retries += uint64(nRetries)
+					timeouts += uint64(nTimeouts)
+					if ok {
+						returned += uint64(len(batch))
+					} else {
+						degraded++
+						missing += uint64(len(batch))
 					}
-					issue(clientEP)
-				})
+					measEnd = sim.Now()
+				} else if seq == cfg.Warmup {
+					measStart = sim.Now()
+					srv.ResetStats()
+				}
+				issue(clientEP)
 			})
-		})
 	}
 
+	schedulePressure(sim, srv, cfg.FaultProbe, func() bool { return completed >= total })
 	for c := 0; c < cfg.Clients; c++ {
 		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)))
 	}
-	sim.Run()
-
-	if completed < total {
-		return Results{}, fmt.Errorf("memslap: deadlock — completed %d of %d requests", completed, total)
+	if err := runToCompletion(sim, total, func() int { return completed }); err != nil {
+		return Results{}, err
 	}
 
 	elapsed := measEnd - measStart
@@ -204,6 +232,11 @@ func Run(sim *des.Sim, fabric *netsim.Fabric, srv *kvs.Server, keys [][]byte, cf
 		HitRate:        float64(hits) / float64(served),
 		Breakdown:      avgBreakdown,
 		WorkerUtil:     srv.Workers.Utilization(),
+		Retries:        retries,
+		Timeouts:       timeouts,
+		Degraded:       degraded,
+		KeysMissing:    missing,
+		GoodputKeys:    float64(returned) / elapsed,
 	}, nil
 }
 

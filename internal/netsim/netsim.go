@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"simdhtbench/internal/des"
+	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
 )
 
@@ -62,8 +63,20 @@ type Fabric struct {
 	sent      uint64
 	bytesSent uint64
 
+	dropped    uint64
+	duplicated uint64
+	delayed    uint64
+
 	// Probe, when non-nil, observes each logical send (obs layer).
 	Probe obs.NetProbe
+
+	// Faults, when non-nil, injects message drop/duplication/delay-spikes:
+	// one independent decision per logical message, drawn in a fixed order
+	// (drop, then delay, then duplicate) from the plan's seeded RNG, so a
+	// faulty fabric replays exactly. FaultProbe, when additionally non-nil,
+	// observes each injected fault.
+	Faults     *fault.Plan
+	FaultProbe obs.FaultProbe
 }
 
 // New creates a fabric on the given simulator.
@@ -89,6 +102,15 @@ func (f *Fabric) MessagesSent() uint64 { return f.sent }
 
 // BytesSent returns the total payload bytes injected.
 func (f *Fabric) BytesSent() uint64 { return f.bytesSent }
+
+// MessagesDropped returns the logical messages the fault plan dropped.
+func (f *Fabric) MessagesDropped() uint64 { return f.dropped }
+
+// MessagesDuplicated returns the logical messages delivered twice.
+func (f *Fabric) MessagesDuplicated() uint64 { return f.duplicated }
+
+// MessagesDelayed returns the logical messages hit by a delay spike.
+func (f *Fabric) MessagesDelayed() uint64 { return f.delayed }
 
 // TransferTime returns size/bandwidth in seconds.
 func (f *Fabric) TransferTime(bytes int) float64 {
@@ -146,6 +168,34 @@ func (e *Endpoint) Send(dst *Endpoint, bytes int, deliver func()) {
 	}
 	if f.Probe != nil {
 		f.Probe.MessageSent(e.name, dst.name, bytes, segments, f.sim.Now(), arrival)
+	}
+	// Fault injection: one decision per logical message, drawn in fixed
+	// order (drop, delay, duplicate). A dropped message still occupied the
+	// sender's NIC — it is lost in the fabric, not suppressed at the source.
+	if f.Faults != nil {
+		if f.Faults.DropMessage() {
+			f.dropped++
+			if f.FaultProbe != nil {
+				f.FaultProbe.MessageDropped(e.name, dst.name, bytes, f.sim.Now())
+			}
+			return
+		}
+		if extra := f.Faults.DelaySpike(); extra > 0 {
+			f.delayed++
+			if f.FaultProbe != nil {
+				f.FaultProbe.MessageDelayed(e.name, dst.name, bytes, extra, f.sim.Now())
+			}
+			arrival += extra
+		}
+		if f.Faults.DuplicateMessage() {
+			f.duplicated++
+			if f.FaultProbe != nil {
+				f.FaultProbe.MessageDuplicated(e.name, dst.name, bytes, f.sim.Now())
+			}
+			// The duplicate trails the original by one receive overhead,
+			// as a retransmitted SEND would.
+			f.sim.At(arrival+f.cfg.RecvOverhead, deliver)
+		}
 	}
 	f.sim.At(arrival, deliver)
 }

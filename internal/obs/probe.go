@@ -59,6 +59,38 @@ type ServerProbe interface {
 	Batch(worker int, start, pre, lookup, post float64, keys, found int)
 }
 
+// FaultProbe observes fault injection (internal/fault plans consulted by
+// netsim/kvs/core) and the client-side degradation protocol (memslap).
+// Like every probe it is nil-means-free: instrumented code holds a
+// nil-checkable interface field.
+type FaultProbe interface {
+	// MessageDropped fires when the fault plan drops a logical message.
+	MessageDropped(from, to string, bytes int, at float64)
+	// MessageDuplicated fires when a message is delivered twice.
+	MessageDuplicated(from, to string, bytes int, at float64)
+	// MessageDelayed fires when a delay spike adds extra seconds to a
+	// message's delivery.
+	MessageDelayed(from, to string, bytes int, extra, at float64)
+	// CrashDropped fires when a server inside a crash window drops a
+	// request.
+	CrashDropped(at float64)
+	// SlowdownApplied fires when a slow window stretches a batch's
+	// service time by factor.
+	SlowdownApplied(factor, at float64)
+	// PressureApplied fires after a transient insert-pressure burst:
+	// items inserted and insert attempts that failed (table full / hash
+	// collision). at is virtual seconds (KVS) or engine cycles (core).
+	PressureApplied(inserted, failed int, at float64)
+	// RetryScheduled fires when the client schedules retry `attempt`
+	// after a backoff of `backoff` seconds.
+	RetryScheduled(attempt int, backoff, at float64)
+	// TimeoutFired fires when a request attempt times out.
+	TimeoutFired(attempt int, at float64)
+	// BatchDegraded fires when a Multi-Get exhausts its retries and
+	// degrades: served/missing are the key counts returned/abandoned.
+	BatchDegraded(served, missing int, at float64)
+}
+
 // secondsToUs converts DES virtual seconds to trace microseconds.
 const secondsToUs = 1e6
 
@@ -263,4 +295,96 @@ func (p *serverProbe) Batch(worker int, start, pre, lookup, post float64, keys, 
 	p.c.Tracer.Span(trackName, "pre", ts, pre*secondsToUs, nil)
 	p.c.Tracer.Span(trackName, "lookup", ts+pre*secondsToUs, lookup*secondsToUs, nil)
 	p.c.Tracer.Span(trackName, "post", ts+(pre+lookup)*secondsToUs, post*secondsToUs, nil)
+}
+
+type faultProbe struct {
+	c          *Collector
+	dropped    *Counter
+	duplicated *Counter
+	delayed    *Counter
+	crashes    *Counter
+	slowdowns  *Counter
+	pressured  *Counter
+	pressFail  *Counter
+	retries    *Counter
+	timeouts   *Counter
+	degraded   *Counter
+	missing    *Counter
+}
+
+// FaultProbe returns a probe recording fault injection and degradation
+// events into this scope, or nil when the collector is nil. Counters land
+// in the fault_*/client_* series; each event also becomes an instant on
+// the scope's "faults" track, so injected faults line up with the mget
+// spans in Perfetto.
+func (c *Collector) FaultProbe() FaultProbe {
+	if c == nil {
+		return nil
+	}
+	return &faultProbe{
+		c:          c,
+		dropped:    c.Counter("fault_messages_dropped_total"),
+		duplicated: c.Counter("fault_messages_duplicated_total"),
+		delayed:    c.Counter("fault_messages_delayed_total"),
+		crashes:    c.Counter("fault_crash_drops_total"),
+		slowdowns:  c.Counter("fault_slowdowns_total"),
+		pressured:  c.Counter("fault_pressure_inserted_total"),
+		pressFail:  c.Counter("fault_pressure_failed_total"),
+		retries:    c.Counter("client_retries_total"),
+		timeouts:   c.Counter("client_timeouts_total"),
+		degraded:   c.Counter("client_degraded_batches_total"),
+		missing:    c.Counter("client_keys_missing_total"),
+	}
+}
+
+func (p *faultProbe) instant(name string, at float64, args map[string]interface{}) {
+	p.c.Tracer.Instant(p.c.trackName("faults"), name, at*secondsToUs, args)
+}
+
+func (p *faultProbe) MessageDropped(from, to string, bytes int, at float64) {
+	p.dropped.Inc()
+	p.instant("drop "+from+"->"+to, at, map[string]interface{}{"bytes": bytes})
+}
+
+func (p *faultProbe) MessageDuplicated(from, to string, bytes int, at float64) {
+	p.duplicated.Inc()
+	p.instant("dup "+from+"->"+to, at, map[string]interface{}{"bytes": bytes})
+}
+
+func (p *faultProbe) MessageDelayed(from, to string, bytes int, extra, at float64) {
+	p.delayed.Inc()
+	p.instant("delay "+from+"->"+to, at,
+		map[string]interface{}{"bytes": bytes, "extra_us": extra * secondsToUs})
+}
+
+func (p *faultProbe) CrashDropped(at float64) {
+	p.crashes.Inc()
+	p.instant("crash-drop", at, nil)
+}
+
+func (p *faultProbe) SlowdownApplied(factor, at float64) {
+	p.slowdowns.Inc()
+	p.instant("slowdown", at, map[string]interface{}{"factor": factor})
+}
+
+func (p *faultProbe) PressureApplied(inserted, failed int, at float64) {
+	p.pressured.Add(uint64(inserted))
+	p.pressFail.Add(uint64(failed))
+	p.instant("pressure", at, map[string]interface{}{"inserted": inserted, "failed": failed})
+}
+
+func (p *faultProbe) RetryScheduled(attempt int, backoff, at float64) {
+	p.retries.Inc()
+	p.instant("retry", at, map[string]interface{}{"attempt": attempt, "backoff_us": backoff * secondsToUs})
+}
+
+func (p *faultProbe) TimeoutFired(attempt int, at float64) {
+	p.timeouts.Inc()
+	p.instant("timeout", at, map[string]interface{}{"attempt": attempt})
+}
+
+func (p *faultProbe) BatchDegraded(served, missing int, at float64) {
+	p.degraded.Inc()
+	p.missing.Add(uint64(missing))
+	p.instant("degraded", at, map[string]interface{}{"served": served, "missing": missing})
 }

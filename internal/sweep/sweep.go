@@ -22,12 +22,29 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"simdhtbench/internal/obs"
 	"simdhtbench/internal/report"
 )
+
+// PanicError is the typed error a job that panicked resolves to: the sweep
+// recovers the panic on the worker goroutine (so one poisoned configuration
+// cannot take down the whole sweep or lose the other jobs' results) and
+// records which job failed, the recovered value, and the stack at the point
+// of the panic.
+type PanicError struct {
+	Index int    // canonical job position in the sweep
+	Label string // Job.Label of the panicking job
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured inside recover
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v", e.Value)
+}
 
 // Job is one independent unit of a sweep: a closure producing a value, plus
 // a label for the timing report.
@@ -110,6 +127,10 @@ func (s *Stats) Record(reg *obs.Registry) {
 //
 // All jobs run to completion even when some fail, so the returned error —
 // that of the lowest-indexed failing job — does not depend on scheduling.
+// A job that panics resolves to a *PanicError naming the job; the panic is
+// recovered on the worker so the sweep survives poisoned configurations.
+// Even on error the results slice is returned in full, with the zero value
+// at failed positions, so callers can keep the healthy configurations.
 func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -129,12 +150,23 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 	// never golden output.
 	start := obs.WallNow()
 
+	// safeRun converts a panicking job into a *PanicError so the sweep keeps
+	// the other configurations' results and the merge order intact.
+	safeRun := func(i int) (result T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Label: jobs[i].Label, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return jobs[i].Run()
+	}
+
 	exec := func(i, worker int) {
 		st := &stats.Jobs[i]
 		st.Index, st.Label, st.Worker = i, jobs[i].Label, worker
 		t0 := obs.WallNow()
 		st.Queue = t0.Sub(start)
-		results[i], errs[i] = jobs[i].Run()
+		results[i], errs[i] = safeRun(i)
 		st.Wall = obs.WallSince(t0)
 	}
 
@@ -164,7 +196,7 @@ func Run[T any](workers int, jobs []Job[T]) ([]T, *Stats, error) {
 
 	for i, err := range errs {
 		if err != nil {
-			return nil, stats, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Label, err)
+			return results, stats, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Label, err)
 		}
 	}
 	return results, stats, nil

@@ -103,6 +103,87 @@ func TestLowestIndexErrorWins(t *testing.T) {
 	}
 }
 
+// TestPanicRecoveredAsTypedError checks that a poisoned configuration —
+// one whose Run panics — surfaces as a *PanicError naming the job while the
+// other jobs' results survive in canonical order.
+func TestPanicRecoveredAsTypedError(t *testing.T) {
+	const poisoned = 5
+	jobs := make([]Job[int], 12)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Label: fmt.Sprintf("cfg%d", i), Run: func() (int, error) {
+			if i == poisoned {
+				panic("poisoned config")
+			}
+			return i * i, nil
+		}}
+	}
+	for _, workers := range []int{1, 4} {
+		out, stats, err := Run(workers, jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: poisoned sweep reported no error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %v is not a *PanicError", workers, err)
+		}
+		if pe.Index != poisoned || pe.Label != "cfg5" {
+			t.Errorf("workers=%d: PanicError identifies job %d (%s), want %d (cfg5)",
+				workers, pe.Index, pe.Label, poisoned)
+		}
+		if pe.Value != "poisoned config" {
+			t.Errorf("workers=%d: recovered value %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+		if !strings.Contains(err.Error(), "cfg5") {
+			t.Errorf("workers=%d: error %q does not name the failing job", workers, err)
+		}
+		// The healthy configurations' results are preserved, in order.
+		if len(out) != len(jobs) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(out), len(jobs))
+		}
+		for i, v := range out {
+			want := i * i
+			if i == poisoned {
+				want = 0
+			}
+			if v != want {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+		if len(stats.Jobs) != len(jobs) {
+			t.Errorf("workers=%d: stats lost jobs: %d", workers, len(stats.Jobs))
+		}
+	}
+}
+
+// TestPanicDoesNotKillWorkers runs many panicking jobs on few workers: every
+// job must still execute (a dead worker goroutine would strand the queue).
+func TestPanicDoesNotKillWorkers(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Label: fmt.Sprintf("p%d", i), Run: func() (int, error) {
+			ran.Add(1)
+			if i%2 == 0 {
+				panic(i)
+			}
+			return i, nil
+		}}
+	}
+	_, _, err := Run(2, jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("want *PanicError for job 0, got %v", err)
+	}
+	if got := ran.Load(); got != 20 {
+		t.Errorf("ran %d jobs, want 20", got)
+	}
+}
+
 // TestParallelExecutionSharesNothing hammers the pool with jobs that only
 // touch their own state; under -race this verifies the runner itself
 // introduces no sharing between jobs.

@@ -43,4 +43,23 @@ $GO run ./cmd/kvsbench -items 2000 -workers 2 -clients 2 -requests 20 \
 diff "$tmp/fig11a.json" internal/experiments/testdata/obs_fig11a_trace.golden.json
 diff "$tmp/fig11a.csv" internal/experiments/testdata/obs_fig11a_metrics.golden.csv
 
+# Fault-injection smoke: the fault-sweep experiment under an armed plan must
+# reproduce its goldens byte-for-byte — table, metrics CSV and trace JSON —
+# exactly as the deterministic-faults golden test pins them.
+echo "==> CLI smoke (fault-sweep vs goldens)"
+$GO run ./cmd/kvsbench -items 2000 -workers 2 -clients 2 -requests 20 \
+    -batches 8 -seed 7 \
+    -faults 'drop=0.15,crash=20µs:10µs,slow=4x@15µs:5µs,pressure=50@10µs,timeout=10µs,retries=1,backoff=5µs' \
+    -trace "$tmp/faults.json" -metrics "$tmp/faults.csv" \
+    fault-sweep > "$tmp/faults.txt"
+sed '$d' "$tmp/faults.txt" > "$tmp/faults.table" # emit() ends with one blank line
+diff "$tmp/faults.table" internal/experiments/testdata/fault_sweep_table.golden.txt
+diff "$tmp/faults.json" internal/experiments/testdata/fault_sweep_trace.golden.json
+diff "$tmp/faults.csv" internal/experiments/testdata/fault_sweep_metrics.golden.csv
+
+# Short fuzz of the delivery and Multi-Get paths (seed corpora replay plus a
+# few seconds of mutation).
+echo "==> fuzz smoke"
+make fuzz-smoke FUZZTIME=5s
+
 echo "==> ci.sh: all checks passed"
