@@ -150,6 +150,9 @@ func BenchmarkSimulatorOverhead(b *testing.B) {
 		t.LookupVerticalBatch(e, stream, 0, len(queries), cfg, res, nil)
 	}
 	b.ReportMetric(float64(len(queries)), "lookups/op")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(len(queries))*float64(b.N)/s/1e6, "sim-Mlookups/s")
+	}
 }
 
 // BenchmarkClusterScaling reports the aggregate-throughput scaling of the

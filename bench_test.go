@@ -68,9 +68,12 @@ func BenchmarkListing1Validation(b *testing.B) {
 }
 
 // benchSpeedup runs one performance-engine configuration and reports the
-// best SIMD speedup as a custom metric.
+// best SIMD speedup as a custom metric, plus the simulator's own throughput
+// (simulated Mlookups per host second over every measured variant) — the
+// sim-speed series scripts/benchdiff.sh guards against regressions.
 func benchSpeedup(b *testing.B, p core.Params, metric string) {
 	b.Helper()
+	var simQueries, hostSeconds float64
 	for i := 0; i < b.N; i++ {
 		r, err := core.Run(p)
 		if err != nil {
@@ -82,6 +85,15 @@ func benchSpeedup(b *testing.B, p core.Params, metric string) {
 		}
 		b.ReportMetric(r.Speedup(best), metric)
 		b.ReportMetric(best.LookupsPerSec/1e6, "Mlookups/s")
+		simQueries += float64(r.Params.Queries)
+		hostSeconds += r.Scalar.HostSeconds
+		for _, m := range r.Vector {
+			simQueries += float64(r.Params.Queries)
+			hostSeconds += m.HostSeconds
+		}
+	}
+	if hostSeconds > 0 {
+		b.ReportMetric(simQueries/hostSeconds/1e6, "sim-Mlookups/s")
 	}
 }
 

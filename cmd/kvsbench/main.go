@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -56,8 +58,21 @@ func main() {
 
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'drop=0.1,crash=20us:10us,timeout=10us,retries=3,backoff=5us' (empty = no faults)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed); all fault timing is virtual, so output stays deterministic")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiling output is wall-clock-shaped by nature and goes to its own
+	// files, never into tables, -trace or -metrics, so the deterministic
+	// artifacts stay byte-identical whether or not profiling is enabled.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	spec, err := fault.ParseSpec(*faults)
 	check(err)
@@ -125,6 +140,13 @@ func main() {
 		}
 	}
 	check(writeObsArtifacts(col, *traceOut, *metricsOut))
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
+	}
 }
 
 // printSweepStats renders sweep wall-clock profiling to stderr through a

@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -65,8 +67,22 @@ func main() {
 
 		faults    = flag.String("faults", "", "run: fault-injection spec; 'pressure=<items>@<period>' injects charged insert-pressure bursts into the measured window")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed)")
+
+		simspeed   = flag.Bool("simspeed", false, "run: print each variant's simulator throughput (simulated Mlookups per host second) to stderr and publish it as an obs gauge; wall-clock-derived, never part of deterministic output")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiling output is wall-clock-shaped by nature and goes to its own
+	// files, never into tables, -trace or -metrics, so the deterministic
+	// artifacts stay byte-identical whether or not profiling is enabled.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	model, err := arch.ByName(*cpu)
 	if err != nil {
@@ -165,6 +181,7 @@ func main() {
 				Pattern: pat, Queries: *queries, Cores: *cores, Seed: *seed,
 				Obs:    col.Scope("config", "run"),
 				Faults: spec, FaultSeed: *faultSeed,
+				RecordSimSpeed: *simspeed,
 			}
 			if *keytrace != "" {
 				f, err := os.Open(*keytrace)
@@ -179,6 +196,11 @@ func main() {
 			emit(resultTable(r), *csv)
 			if *brk {
 				emit(breakdownTable(r), *csv)
+			}
+			if *simspeed {
+				// Stderr only: stdout carries the deterministic tables.
+				simSpeedTable(r).Fprint(os.Stderr)
+				fmt.Fprintln(os.Stderr)
 			}
 		case "advise":
 			pat := workload.Uniform
@@ -244,6 +266,34 @@ func main() {
 		}
 	}
 	check(writeObsArtifacts(col, *traceOut, *metricsOut))
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
+	}
+}
+
+// simSpeedTable renders the per-variant simulator throughput of a run. The
+// values derive from obs.WallNow and vary run to run, so the table goes to
+// stderr and never into golden-checked output.
+func simSpeedTable(r *core.Result) *report.Table {
+	t := report.NewTable("Simulator throughput (wall-clock; profiling only)",
+		"Variant", "Host ms", "Sim Mlookups/s")
+	row := func(name string, m core.Measurement) {
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", m.HostSeconds*1e3),
+			fmt.Sprintf("%.2f", m.SimSpeed))
+	}
+	row("Scalar", r.Scalar)
+	if r.AMAC != nil {
+		row("AMAC", *r.AMAC)
+	}
+	for _, v := range r.Vector {
+		row(v.Choice.String(), v)
+	}
+	return t
 }
 
 // printSweepStats renders sweep wall-clock profiling to stderr through a

@@ -18,7 +18,10 @@
 // relative shapes of the paper's figures emerge, not to mimic exact silicon.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Vector widths in bits. Width 64 denotes the scalar datapath.
 const (
@@ -65,7 +68,10 @@ const (
 	OpVecCompress // compress/expand for selective (masked) gathers
 )
 
-var opNames = map[OpClass]string{
+// opNames maps each OpClass to its display name; the array is indexed by
+// the dense iota values so the probe hot path (one String() per charged op)
+// avoids a map probe.
+var opNames = [NumOpClasses]string{
 	OpScalarALU: "scalar-alu", OpScalarMul: "scalar-mul", OpScalarCmp: "scalar-cmp",
 	OpScalarBranch: "scalar-branch", OpScalarLoadOp: "scalar-load", OpScalarStoreOp: "scalar-store",
 	OpBranchMispredict: "branch-mispredict", OpFence: "fence",
@@ -78,8 +84,8 @@ var opNames = map[OpClass]string{
 
 // String returns a human-readable op-class name.
 func (c OpClass) String() string {
-	if s, ok := opNames[c]; ok {
-		return s
+	if uint(c) < uint(NumOpClasses) {
+		return opNames[c]
 	}
 	return fmt.Sprintf("opclass(%d)", int(c))
 }
@@ -135,11 +141,26 @@ type Model struct {
 	// chunk beyond the first to model wider-uop cracking.
 	costs      map[OpClass]float64
 	widthExtra map[OpClass]float64
+
+	// tab is the dense resolution of costs/widthExtra (see CostTable),
+	// built once on first use.
+	tabOnce sync.Once
+	tab     *CostTable
 }
 
 // Cost returns the charge, in cycles, for one op of class c at the given
 // vector width in bits (use WidthScalar for scalar ops).
 func (m *Model) Cost(c OpClass, width int) float64 {
+	if cost, ok := m.CostTable().Lookup(c, width); ok {
+		return cost
+	}
+	return m.costSlow(c, width)
+}
+
+// costSlow resolves a cost through the underlying maps — the original
+// formulation the dense table is built from. It also serves widths beyond
+// the table's tiers and produces the missing-class panic diagnostic.
+func (m *Model) costSlow(c OpClass, width int) float64 {
 	base, ok := m.costs[c]
 	if !ok {
 		panic(fmt.Sprintf("arch: %s has no cost for %v", m.Name, c))

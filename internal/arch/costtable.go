@@ -1,0 +1,57 @@
+package arch
+
+// NumOpClasses is the number of defined OpClass values; OpClass constants
+// are a dense iota sequence, so a [NumOpClasses]-sized array indexed by
+// OpClass covers every class.
+const NumOpClasses = int(OpVecCompress) + 1
+
+// costWidthTiers is the number of width tiers a dense cost table holds.
+// The tier index of a width is width/WidthSSE (i.e. width>>7): all widths
+// up to and including WidthSSE cost the base amount, and each additional
+// 128-bit chunk adds widthExtra, so every width in [tier*128, tier*128+127]
+// shares the cost computed for tier*128. Tiers 0..4 cover every legal
+// width (scalar 64 through AVX-512).
+const costWidthTiers = WidthAVX512/WidthSSE + 1
+
+// CostTable is a dense, read-only view of a Model's instruction cost table:
+// cost lookups become two array indexes instead of two map probes. Entries
+// are computed through Model.Cost, so they are bit-identical to the values
+// the map-based path returns. The zero flag in missing marks classes the
+// model defines; looking up a missing class must go through Model.Cost,
+// which panics with the model's diagnostic.
+type CostTable struct {
+	vals    [NumOpClasses][costWidthTiers]float64
+	missing [NumOpClasses]bool
+}
+
+// Lookup returns the cost for (c, width) and whether the dense table covers
+// that pair. Uncovered pairs (width beyond AVX-512, class without a cost)
+// must be resolved by Model.Cost.
+func (t *CostTable) Lookup(c OpClass, width int) (float64, bool) {
+	tier := width >> 7
+	if uint(c) >= uint(NumOpClasses) || uint(tier) >= costWidthTiers || t.missing[c] {
+		return 0, false
+	}
+	return t.vals[c][tier], true
+}
+
+// CostTable returns the model's dense cost table, building it on first use.
+// The table is immutable once built and safe for concurrent readers; the
+// build itself is serialized, so models shared across sweep workers resolve
+// it exactly once.
+func (m *Model) CostTable() *CostTable {
+	m.tabOnce.Do(func() {
+		t := &CostTable{}
+		for c := OpClass(0); int(c) < NumOpClasses; c++ {
+			if _, ok := m.costs[c]; !ok {
+				t.missing[c] = true
+				continue
+			}
+			for tier := 0; tier < costWidthTiers; tier++ {
+				t.vals[c][tier] = m.costSlow(c, tier*WidthSSE)
+			}
+		}
+		m.tab = t
+	})
+	return m.tab
+}

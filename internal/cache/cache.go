@@ -41,15 +41,31 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// level is one set-associative cache level with LRU replacement. Sets are
-// kept in recency order (index 0 = most recently used), which makes LRU a
-// couple of slice rotations — plenty fast for a simulator.
+// hotLineNone is the sentinel for an empty per-level hot register; no real
+// line address can equal it (lines are line-aligned, so the low bits of a
+// valid line are zero).
+const hotLineNone = ^uint64(0)
+
+// level is one set-associative cache level with LRU replacement. All sets
+// live in one flat tag array — set i occupies tags[i*assoc : i*assoc+used[i]]
+// in recency order (offset 0 = most recently used) — so building a level is
+// two allocations regardless of set count and an access touches one
+// contiguous span. LRU stays a couple of element rotations. Levels whose set
+// count is a power of two index with a mask instead of a modulo.
 type level struct {
-	cfg      Config
-	sets     [][]uint64 // line tags per set, MRU first
-	numSets  uint64
-	stats    Stats
-	capacity int
+	cfg     Config
+	tags    []uint64 // numSets*assoc line tags, each set MRU first
+	used    []int32  // resident lines per set
+	numSets uint64
+	setMask uint64 // numSets-1 when numSets is a power of two, else 0
+	assoc   int
+	stats   Stats
+
+	// hotLine short-circuits repeated accesses to the most recently
+	// accessed line: after any access (hit or install) that line is at the
+	// MRU position of its set, so the next access to the same line is a
+	// hit that needs no scan and no reorder.
+	hotLine uint64
 }
 
 func newLevel(cfg Config) *level {
@@ -61,24 +77,49 @@ func newLevel(cfg Config) *level {
 	if numSets == 0 {
 		numSets = 1
 	}
-	sets := make([][]uint64, numSets)
-	for i := range sets {
-		sets[i] = make([]uint64, 0, cfg.Assoc)
+	l := &level{
+		cfg:     cfg,
+		tags:    make([]uint64, numSets*cfg.Assoc),
+		used:    make([]int32, numSets),
+		numSets: uint64(numSets),
+		assoc:   cfg.Assoc,
+		hotLine: hotLineNone,
 	}
-	return &level{cfg: cfg, sets: sets, numSets: uint64(numSets), capacity: cfg.Assoc}
+	if numSets&(numSets-1) == 0 {
+		l.setMask = uint64(numSets) - 1
+	}
+	return l
+}
+
+// setIndex maps a line address to its set.
+func (l *level) setIndex(line uint64) uint64 {
+	idx := line / mem.LineSize
+	if l.setMask != 0 {
+		return idx & l.setMask
+	}
+	return idx % l.numSets
 }
 
 // access looks up a line address; on miss the line is installed, possibly
 // evicting the LRU way. Returns whether it hit and whether the install
 // evicted a resident line.
 func (l *level) access(line uint64) (hit, evicted bool) {
-	set := l.sets[(line/mem.LineSize)%l.numSets]
+	if line == l.hotLine {
+		// The previous access left this line at its set's MRU position;
+		// nothing to scan or reorder.
+		l.stats.Hits++
+		return true, false
+	}
+	setIdx := l.setIndex(line)
+	base := setIdx * uint64(l.assoc)
+	set := l.tags[base : base+uint64(l.used[setIdx])]
 	for i, tag := range set {
 		if tag == line {
 			// Move to front (MRU).
 			copy(set[1:i+1], set[:i])
 			set[0] = line
 			l.stats.Hits++
+			l.hotLine = line
 			return true, false
 		}
 	}
@@ -89,24 +130,26 @@ func (l *level) access(line uint64) (hit, evicted bool) {
 // install places a line at MRU, reporting whether the set was full and the
 // LRU way was evicted to make room.
 func (l *level) install(line uint64) (evicted bool) {
-	idx := (line / mem.LineSize) % l.numSets
-	set := l.sets[idx]
-	if len(set) < l.capacity {
-		set = append(set, 0)
+	setIdx := l.setIndex(line)
+	base := setIdx * uint64(l.assoc)
+	n := int(l.used[setIdx])
+	if n < l.assoc {
+		l.used[setIdx] = int32(n + 1)
+		n++
 	} else {
 		evicted = true
 	}
+	set := l.tags[base : base+uint64(n)]
 	copy(set[1:], set)
 	set[0] = line
-	l.sets[idx] = set
+	l.hotLine = line
 	return evicted
 }
 
 func (l *level) reset() {
-	for i := range l.sets {
-		l.sets[i] = l.sets[i][:0]
-	}
+	clear(l.used)
 	l.stats = Stats{}
+	l.hotLine = hotLineNone
 }
 
 // Hierarchy is an inclusive multi-level cache backed by DRAM.

@@ -151,6 +151,13 @@ type Params struct {
 
 	// FaultSeed seeds the fault plan; 0 falls back to Seed.
 	FaultSeed int64
+
+	// RecordSimSpeed additionally publishes each variant's simulator
+	// throughput (simulated Mlookups per host second) as an obs gauge when
+	// Obs is attached. Sim-speed is wall-clock-derived and nondeterministic,
+	// so it is strictly opt-in: the default keeps metrics output (and every
+	// golden artifact) free of host-timing values.
+	RecordSimSpeed bool
 }
 
 // withDefaults returns a copy with zero fields resolved.

@@ -8,6 +8,7 @@ import (
 	"simdhtbench/internal/cuckoo"
 	"simdhtbench/internal/engine"
 	"simdhtbench/internal/mem"
+	"simdhtbench/internal/obs"
 	"simdhtbench/internal/workload"
 )
 
@@ -40,6 +41,14 @@ type Measurement struct {
 	// outermost level first, with a final DRAM entry (fills only). It
 	// feeds the -breakdown cache column.
 	CacheLevels []LevelStat
+
+	// HostSeconds is the wall-clock time the simulator spent executing the
+	// measured window, and SimSpeed the resulting simulator throughput in
+	// simulated Mlookups per host second. Both are profiling-only values:
+	// they vary run to run and must never reach deterministic (golden)
+	// output — reporting is opt-in (Params.RecordSimSpeed, -simspeed).
+	HostSeconds float64
+	SimSpeed    float64
 }
 
 // LevelStat is one cache level's traffic during the measured window.
@@ -210,6 +219,10 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 	// draws the same pressure keys at the same points in its stream.
 	plan := p.Faults.NewPlan(p.FaultSeed)
 	var hits, pressured, pressFailed int
+	// Wall-clock time of the measured window, for the sim-speed metric.
+	// obs.WallNow is the module's sanctioned wall-clock read; the values
+	// derived from it stay out of all deterministic output.
+	hostStart := obs.WallNow()
 	if items := plan.PressureItems(); items > 0 {
 		// Chunk the measured window and spike the load factor between
 		// chunks: PressureItems ephemeral odd keys (never colliding with
@@ -237,6 +250,7 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 	} else {
 		hits = run(e, p.Warmup, p.Queries)
 	}
+	hostSeconds := obs.WallSince(hostStart).Seconds()
 
 	cycles := e.Cycles()
 	seconds := cycles / (p.Arch.Frequency(width) * 1e9)
@@ -248,10 +262,14 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 		OpCycles:           make(map[arch.OpClass]float64),
 		PressureInserted:   pressured,
 		PressureFailed:     pressFailed,
+		HostSeconds:        hostSeconds,
 	}
-	for op, cy := range e.OpCycles() {
+	if hostSeconds > 0 {
+		m.SimSpeed = float64(p.Queries) / hostSeconds / 1e6
+	}
+	e.ForEachOpCycle(func(op arch.OpClass, cy float64) {
 		m.OpCycles[op] = cy / float64(p.Queries)
-	}
+	})
 	if st, ok := e.Cache.LevelStats("L1D"); ok {
 		m.L1HitRate = st.HitRate()
 	}
@@ -268,6 +286,11 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 			"queries": p.Queries, "hits": hits, "width": width,
 			"cycles_per_lookup": m.CyclesPerLookup,
 		})
+		if p.RecordSimSpeed {
+			// Opt-in only: sim-speed is wall-clock-derived, so the gauge
+			// must never appear in deterministic (golden) metrics output.
+			vc.Gauge("sim_speed_mlookups_per_s").Set(m.SimSpeed)
+		}
 	}
 	return m
 }

@@ -41,8 +41,8 @@ func (t *Table) LookupAMACBatch(e *engine.Engine, s *Stream, from, n int, cfg AM
 	}
 
 	hits := 0
-	keys := make([]uint64, g)
-	buckets := make([]int, g)
+	keys := u64Scratch(&t.scratch.keys, g)
+	buckets := intScratch(&t.scratch.buckets, g)
 
 	for base := 0; base < n; base += g {
 		size := g

@@ -73,13 +73,13 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 	hashLanes := cfg.Width / kb // keys whose buckets are computed per packed hash
 	groups := (t.L.N + bpv - 1) / bpv
 	hits := 0
+	bdl := t.bundlesFor(e.Arch, cfg.Width)
 
 	for q := 0; q < n; q++ {
-		// Amortized vectorized bucket calculation for the next hashLanes keys.
+		// Amortized vectorized bucket calculation for the next hashLanes
+		// keys: N packed hashes, charged as one precomputed bundle.
 		if q%hashLanes == 0 {
-			for i := 0; i < t.L.N; i++ {
-				e.VecHash(cfg.Width)
-			}
+			e.ChargeBatch(bdl.hashAll)
 		}
 		key := e.StreamLoad(s.Arena, s.Off(from+q), s.Bits)
 		kvec := e.Set1(cfg.Width, kb, key)
@@ -93,8 +93,8 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 			}
 			// Assemble bpv buckets in one register; a short final group pads
 			// by re-loading its last bucket (harmless duplicate lanes).
-			offs := make([]int, 0, bpv)
-			buckets := make([]int, 0, bpv)
+			offs := intScratch(&t.scratch.offs, bpv)[:0]
+			buckets := intScratch(&t.scratch.buckets, bpv)[:0]
 			for j := lo; j < hi; j++ {
 				b := t.Bucket(j, key)
 				buckets = append(buckets, b)
@@ -117,8 +117,7 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 
 			match := e.CmpEq(kb, tk, kvec)
 			match &= vec.LaneMaskAll(bpv * t.L.M)
-			e.Movemask(cfg.Width)
-			e.Charge(arch.OpScalarBranch, arch.WidthScalar)
+			e.ChargeBatch(bdl.probeTail)
 			if lane := match.FirstSet(); lane >= 0 {
 				b := buckets[lane/t.L.M]
 				slot := lane % t.L.M
@@ -152,7 +151,8 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 // bucketsPerVec*bucketBytes < width/8); they are left zero, matching a
 // masked load.
 func (t *Table) loadBuckets(e *engine.Engine, width int, offs []int, bucketBytes, pad int) vec.Vec {
-	buf := make([]byte, width/8)
+	buf := t.scratch.bucketBuf[:width/8]
+	clear(buf) // pad bytes must read zero, matching a masked load
 	for i, off := range offs {
 		e.Charge(arch.OpVecLoad, width)
 		if i > 0 {
@@ -176,7 +176,8 @@ func (t *Table) extractKeys(width int, bvec vec.Vec, bpv, unitBytes int) vec.Vec
 	if t.L.Split {
 		stride = kb / 8
 	}
-	raw := bvec.ToBytes()
+	nb := bvec.ToBytesInto(t.scratch.rawBuf[:])
+	raw := t.scratch.rawBuf[:nb]
 	tk := vec.Zero(width)
 	lane := 0
 	for c := 0; c < bpv; c++ {

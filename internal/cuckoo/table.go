@@ -37,8 +37,40 @@ type Table struct {
 	rng         *rand.Rand
 	maxBFSNodes int
 
-	// scratch buffers reused across operations
-	visited map[int]int
+	// shadowKeys mirrors every slot's stored key (post-truncation, exactly
+	// the value Arena.ReadUint would decode), indexed b*M+s. setSlot — the
+	// sole writer of table bytes — keeps it coherent, which turns the
+	// functional key reads that dominate fill and BFS (keyAt) into a single
+	// slice index instead of a width-dispatched arena decode. The arena
+	// remains authoritative: every charged load still reads table bytes.
+	shadowKeys []uint64
+
+	// Precomputed layout strides (resolved once in New) so the fill-path
+	// offset math is two multiply-adds instead of re-deriving bucket and
+	// slot sizes per access:
+	//   keyOff(b,s) = b*bucketBytes + s*keyStride
+	//   valOff(b,s) = b*bucketBytes + valBase + s*valStride
+	bucketBytes int
+	keyStride   int
+	valBase     int
+	valStride   int
+
+	// BFS scratch reused across inserts: visitedStamp[b] == visitedEpoch
+	// marks bucket b as enqueued in the current search (an O(1)-clear
+	// membership set), and bfsQueue keeps its capacity between searches.
+	visitedStamp []uint32
+	visitedEpoch uint32
+	bfsQueue     []pathEntry
+
+	// scratch holds the per-table reusable buffers of the charged lookup
+	// templates (see lookupScratch); charged lookups on one Table must not
+	// run concurrently, which the engine's single-core model already
+	// requires.
+	scratch lookupScratch
+
+	// bundles caches precomputed engine cost bundles per (model, width)
+	// pair for the lookup templates' fixed charge sequences.
+	bundles []*templateBundles
 
 	// Instrumentation for charged inserts: the relocations and BFS nodes
 	// of the most recent Insert that required eviction.
@@ -61,14 +93,26 @@ func New(space *mem.AddressSpace, l Layout, seed int64) (*Table, error) {
 	// The arena carries one line of tail padding so vector-granularity
 	// reads of the final slots (e.g. a 32-bit gather of a 16-bit payload)
 	// stay in bounds — the same over-read padding real SIMD code allocates.
-	return &Table{
-		L:           l,
-		Arena:       space.Alloc(l.TableBytes() + mem.LineSize),
-		fam:         hashfn.NewFamily(l.N, l.KeyBits, l.BucketBits, seed),
-		rng:         rand.New(rand.NewSource(seed ^ 0x5eed)),
-		maxBFSNodes: DefaultMaxBFSNodes,
-		visited:     make(map[int]int),
-	}, nil
+	t := &Table{
+		L:            l,
+		Arena:        space.Alloc(l.TableBytes() + mem.LineSize),
+		fam:          hashfn.NewFamily(l.N, l.KeyBits, l.BucketBits, seed),
+		rng:          rand.New(rand.NewSource(seed ^ 0x5eed)),
+		maxBFSNodes:  DefaultMaxBFSNodes,
+		shadowKeys:   make([]uint64, l.Slots()),
+		visitedStamp: make([]uint32, l.Buckets()),
+		bucketBytes:  l.BucketBytes(),
+	}
+	if l.Split {
+		t.keyStride = l.KeyBits / 8
+		t.valBase = l.M * l.KeyBits / 8
+		t.valStride = l.ValBits / 8
+	} else {
+		t.keyStride = l.SlotBytes()
+		t.valBase = l.KeyBits / 8
+		t.valStride = l.SlotBytes()
+	}
+	return t, nil
 }
 
 // Family exposes the table's hash-function family (the vectorized lookup
@@ -89,16 +133,20 @@ func (t *Table) Bucket(i int, key uint64) int {
 }
 
 func (t *Table) keyAt(b, s int) uint64 {
-	return t.Arena.ReadUint(t.L.slotOff(b, s), t.L.KeyBits)
+	return t.shadowKeys[b*t.L.M+s]
 }
 
 func (t *Table) valAt(b, s int) uint64 {
-	return t.Arena.ReadUint(t.L.valOff(b, s), t.L.ValBits)
+	return t.Arena.ReadUint(b*t.bucketBytes+t.valBase+s*t.valStride, t.L.ValBits)
 }
 
 func (t *Table) setSlot(b, s int, key, val uint64) {
-	t.Arena.WriteUint(t.L.slotOff(b, s), t.L.KeyBits, key)
-	t.Arena.WriteUint(t.L.valOff(b, s), t.L.ValBits, val)
+	base := b * t.bucketBytes
+	t.Arena.WriteUint(base+s*t.keyStride, t.L.KeyBits, key)
+	t.Arena.WriteUint(base+t.valBase+s*t.valStride, t.L.ValBits, val)
+	// Mirror exactly what a ReadUint of the slot would return: WriteUint
+	// stores the low KeyBits, so the shadow records the truncated value.
+	t.shadowKeys[b*t.L.M+s] = key & t.L.KeyMask()
 }
 
 // Lookup finds key and returns its payload. This is the native, uncharged
@@ -131,11 +179,13 @@ func (t *Table) Insert(key, val uint64) error {
 	}
 
 	// Update in place, or take the first empty slot in a candidate bucket.
+	shadow, m := t.shadowKeys, t.L.M
 	emptyB, emptyS := -1, -1
 	for i := 0; i < t.L.N; i++ {
 		b := t.Bucket(i, key)
-		for s := 0; s < t.L.M; s++ {
-			switch t.keyAt(b, s) {
+		base := b * m
+		for s := 0; s < m; s++ {
+			switch shadow[base+s] {
 			case key:
 				t.setSlot(b, s, key, val)
 				return nil
@@ -188,37 +238,50 @@ type pathEntry struct {
 // buckets to a bucket with an empty slot, performs the relocations, and
 // returns the freed (bucket, slot).
 func (t *Table) bfsMakeRoom(key uint64) (int, int, bool) {
-	queue := make([]pathEntry, 0, 64)
-	clear(t.visited)
-	for i := 0; i < t.L.N; i++ {
+	// Advance the visited epoch instead of clearing a per-search set; on the
+	// (astronomically rare) wraparound the stamp array is cleared once so
+	// stale stamps from 2^32 searches ago cannot alias the new epoch.
+	t.visitedEpoch++
+	if t.visitedEpoch == 0 {
+		clear(t.visitedStamp)
+		t.visitedEpoch = 1
+	}
+	queue := t.bfsQueue[:0]
+	defer func() { t.bfsQueue = queue[:0] }()
+	stamp, epoch := t.visitedStamp, t.visitedEpoch
+	shadow, m, n := t.shadowKeys, t.L.M, t.L.N
+	for i := 0; i < n; i++ {
 		b := t.Bucket(i, key)
-		if _, seen := t.visited[b]; seen {
+		if stamp[b] == epoch {
 			continue
 		}
-		t.visited[b] = len(queue)
+		stamp[b] = epoch
 		queue = append(queue, pathEntry{bucket: b, parent: -1})
 	}
 
 	for idx := 0; idx < len(queue) && len(queue) < t.maxBFSNodes; idx++ {
 		t.lastBFSNodes++
 		e := queue[idx]
-		if s := t.emptySlot(e.bucket); s >= 0 {
-			return t.applyPath(queue, idx, s)
+		base := e.bucket * m
+		for s := 0; s < m; s++ {
+			if shadow[base+s] == 0 {
+				return t.applyPath(queue, idx, s)
+			}
 		}
-		for s := 0; s < t.L.M; s++ {
-			k := t.keyAt(e.bucket, s)
+		for s := 0; s < m; s++ {
+			k := shadow[base+s]
 			if k == 0 {
 				continue // raced with nothing; defensive
 			}
-			for j := 0; j < t.L.N; j++ {
+			for j := 0; j < n; j++ {
 				alt := t.Bucket(j, k)
 				if alt == e.bucket {
 					continue
 				}
-				if _, seen := t.visited[alt]; seen {
+				if stamp[alt] == epoch {
 					continue
 				}
-				t.visited[alt] = len(queue)
+				stamp[alt] = epoch
 				queue = append(queue, pathEntry{bucket: alt, parent: idx, parentSlot: s})
 				if len(queue) >= t.maxBFSNodes {
 					break
@@ -296,22 +359,27 @@ func (t *Table) ForEach(fn func(key, val uint64)) {
 func (t *Table) FillRandom(lf float64, rng *rand.Rand) ([]uint64, float64) {
 	target := int(lf * float64(t.L.Slots()))
 	keys := make([]uint64, 0, target)
-	seen := make(map[uint64]struct{}, target)
 	for t.count < target {
 		key := (rng.Uint64() & t.L.KeyMask()) &^ 1 // even keys; odd = guaranteed misses
 		if key == 0 {
 			continue
 		}
-		if _, dup := seen[key]; dup {
+		// Duplicate draws are detected by the table itself instead of a
+		// side map (which dominated large fills): inserting a present key
+		// takes Insert's update-in-place path — it rewrites the identical
+		// slot bytes (PayloadFor is deterministic) and leaves count
+		// unchanged — so table state, RNG stream, and the returned key list
+		// are all exactly what the map-based formulation produced.
+		before := t.count
+		if err := t.Insert(key, PayloadFor(key, t.L.ValBits)); err != nil {
+			break
+		}
+		if t.count == before {
 			// Exhausted keyspace check: tiny 16-bit tables can run out.
-			if len(seen) >= int(t.L.KeyMask()/2) {
+			if len(keys) >= int(t.L.KeyMask()/2) {
 				break
 			}
 			continue
-		}
-		seen[key] = struct{}{}
-		if err := t.Insert(key, PayloadFor(key, t.L.ValBits)); err != nil {
-			break
 		}
 		keys = append(keys, key)
 	}

@@ -66,10 +66,11 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 	packed := (pairBits == 32 || pairBits == 64) && pairBits <= maxGatherLaneBits && !t.L.Split
 
 	hits := 0
-	keys := make([]uint64, w)
-	vals := make([]uint64, w)
-	offs := make([]int, w)  // key offsets per lane
-	voffs := make([]int, w) // payload offsets per lane
+	keys := u64Scratch(&t.scratch.keys, w)
+	vals := u64Scratch(&t.scratch.vals, w)
+	offs := intScratch(&t.scratch.koffs, w)  // key offsets per lane
+	voffs := intScratch(&t.scratch.voffs, w) // payload offsets per lane
+	bdl := t.bundlesFor(e.Arch, cfg.Width)
 
 	for g := 0; g*w < n; g++ {
 		lo := g * w
@@ -91,7 +92,7 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 
 		for way := 0; way < t.L.N && !active.None(); way++ {
 			// vec_calc_hash: packed multiply-shift, one key per lane.
-			e.VecHash(cfg.Width)
+			e.ChargeBatch(bdl.hashOne)
 			for slot := 0; slot < t.L.M && !active.None(); slot++ {
 				if slot > 0 {
 					// Selective gather setup for the next slot (compress the
@@ -114,8 +115,7 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 						t.gatherValues(e, cfg.Width, size, voffs, match, vals)
 					}
 				}
-				e.Movemask(cfg.Width)
-				e.Charge(arch.OpScalarBranch, arch.WidthScalar)
+				e.ChargeBatch(bdl.probeTail)
 				foundMask |= match
 				active &^= match
 			}
@@ -155,7 +155,9 @@ func (t *Table) gatherPairsAndCompare(e *engine.Engine, width, pairBits, size in
 			chunk = size - base
 		}
 		chunkMask := subMask(active, base, chunk)
-		goffs := make([]int, vec.NumLanes(width, pairBits))
+		// Stale entries from earlier chunks are harmless: the gather reads
+		// (and charges) only lanes whose mask bit is set.
+		goffs := intScratch(&t.scratch.goffs, vec.NumLanes(width, pairBits))
 		for i := 0; i < chunk; i++ {
 			if chunkMask.Test(i) {
 				goffs[i] = offs[base+i]
@@ -201,7 +203,7 @@ func (t *Table) gatherKeysAndCompare(e *engine.Engine, width, size int, offs []i
 		if chunkMask.None() {
 			continue
 		}
-		goffs := make([]int, vec.NumLanes(width, gLane))
+		goffs := intScratch(&t.scratch.goffs, vec.NumLanes(width, gLane))
 		for i := 0; i < chunk; i++ {
 			if chunkMask.Test(i) {
 				goffs[i] = offs[base+i]
@@ -240,7 +242,7 @@ func (t *Table) gatherValues(e *engine.Engine, width, size int, voffs []int, mat
 		if chunkMask.None() {
 			continue
 		}
-		goffs := make([]int, vec.NumLanes(width, vLane))
+		goffs := intScratch(&t.scratch.goffs, vec.NumLanes(width, vLane))
 		for i := 0; i < chunk; i++ {
 			if chunkMask.Test(i) {
 				goffs[i] = voffs[base+i]

@@ -11,7 +11,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"simdhtbench/internal/obs"
@@ -46,7 +45,7 @@ func (s *Sim) At(t float64, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past (%g < %g)", t, s.now))
 	}
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
 	s.seq++
 }
 
@@ -71,19 +70,19 @@ func (s *Sim) Dispatched() uint64 { return s.dispatched }
 // BudgetExhausted reports whether the watchdog stopped the simulation:
 // the budget was hit with events still pending.
 func (s *Sim) BudgetExhausted() bool {
-	return s.budget > 0 && s.dispatched >= s.budget && s.events.Len() > 0
+	return s.budget > 0 && s.dispatched >= s.budget && len(s.events) > 0
 }
 
 // Step runs the next event; it reports whether one existed (and, with an
 // event budget armed, whether the budget still allowed it).
 func (s *Sim) Step() bool {
-	if s.events.Len() == 0 {
+	if len(s.events) == 0 {
 		return false
 	}
 	if s.budget > 0 && s.dispatched >= s.budget {
 		return false
 	}
-	ev := heap.Pop(&s.events).(*event)
+	ev := s.events.pop()
 	s.now = ev.at
 	s.dispatched++
 	if s.Probe != nil {
@@ -102,7 +101,7 @@ func (s *Sim) Run() {
 // RunUntil processes events with timestamps <= t, then advances the clock
 // to t.
 func (s *Sim) RunUntil(t float64) {
-	for s.events.Len() > 0 && s.events[0].at <= t {
+	for len(s.events) > 0 && s.events[0].at <= t {
 		s.Step()
 	}
 	if t > s.now {
@@ -111,7 +110,7 @@ func (s *Sim) RunUntil(t float64) {
 }
 
 // Pending returns the number of scheduled events.
-func (s *Sim) Pending() int { return s.events.Len() }
+func (s *Sim) Pending() int { return len(s.events) }
 
 type event struct {
 	at  float64
@@ -119,24 +118,63 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled binary min-heap of event values ordered by
+// (at, seq). Scheduling an event appends into the slice's spare capacity —
+// no per-event box, no interface conversion — so the steady-state event loop
+// allocates nothing once the heap has reached its high-water mark (pinned by
+// the netsim Send alloc test). Because (at, seq) is a unique total order,
+// pop order — and therefore every simulation outcome — is identical to the
+// previous container/heap formulation.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// push appends ev and sifts it up to its heap position.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event, releasing its closure reference
+// from the backing array.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the fn reference so the closure can be collected
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && q.less(r, c) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return top
 }
 
 // Resource is a FIFO-queued resource with fixed capacity (e.g. a pool of

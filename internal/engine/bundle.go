@@ -1,0 +1,72 @@
+package engine
+
+import "simdhtbench/internal/arch"
+
+// CostItem names one op in a CostBundle: an op class executed at a vector
+// width.
+type CostItem struct {
+	Class arch.OpClass
+	Width int
+}
+
+// CostBundle is a precomputed sequence of op charges — the fused-kernel
+// counterpart of issuing the same Charge calls one by one. The costs are
+// resolved once, at construction, against a specific architecture model;
+// charging the bundle adds them in item order, so the floating-point
+// accumulation sequence (and therefore the final cycle count, bit for bit)
+// is identical to the per-op path. Lookup templates build bundles once per
+// (model, width, template) pair and charge them per iteration, replacing N
+// cost-table resolutions per lookup with N float additions.
+type CostBundle struct {
+	model    *arch.Model
+	items    []bundleItem
+	maxWidth int
+	seenMask uint32
+}
+
+type bundleItem struct {
+	class arch.OpClass
+	width int
+	cost  float64
+}
+
+// NewCostBundle resolves the items' costs against m. The bundle is
+// immutable and safe to share across engines running the same model.
+func NewCostBundle(m *arch.Model, items []CostItem) *CostBundle {
+	b := &CostBundle{model: m, items: make([]bundleItem, len(items))}
+	for i, it := range items {
+		b.items[i] = bundleItem{class: it.Class, width: it.Width, cost: m.Cost(it.Class, it.Width)}
+		if it.Width > b.maxWidth {
+			b.maxWidth = it.Width
+		}
+		b.seenMask |= 1 << uint(it.Class)
+	}
+	return b
+}
+
+// Len returns the number of ops the bundle charges.
+func (b *CostBundle) Len() int { return len(b.items) }
+
+// ChargeBatch charges every op in the bundle, exactly as the equivalent
+// sequence of Charge calls would: same cycle totals (bit for bit, because
+// the additions happen in the same order on the same precomputed values),
+// same per-class breakdown, same op count, and — when a probe is attached —
+// the same event stream. The batched fast path engages only when nothing
+// observable differs from the per-op path: charging on, no probe, no width
+// license change pending, fusing enabled, and the bundle resolved against
+// this engine's model; otherwise it decays to per-op Charge calls.
+func (e *Engine) ChargeBatch(b *CostBundle) {
+	if !e.fused || !e.charging || e.probe != nil || b.maxWidth > e.maxWidth || b.model != e.Arch {
+		for i := range b.items {
+			e.Charge(b.items[i].class, b.items[i].width)
+		}
+		return
+	}
+	for i := range b.items {
+		it := &b.items[i]
+		e.cycles += it.cost
+		e.opCycles[it.class] += it.cost
+	}
+	e.opSeen |= b.seenMask
+	e.ops += uint64(len(b.items))
+}

@@ -37,13 +37,32 @@ type Engine struct {
 	charging bool
 
 	// Breakdown: cycles by op class, plus memory cycles (cache/DRAM).
-	opCycles  map[arch.OpClass]float64
+	// opCycles is indexed by the dense OpClass values; opSeen records which
+	// classes were charged at all, so the reporting APIs can distinguish
+	// "never charged" from a zero total.
+	opCycles  [arch.NumOpClasses]float64
+	opSeen    uint32
 	memCycles float64
+
+	// costs is the model's dense cost table (arch.CostTable), resolved once
+	// at construction so the charge hot path is two array indexes.
+	costs *arch.CostTable
+
+	// fused enables the batched fast path of ChargeBatch. It is on by
+	// default; differential tests turn it off to force the per-op path and
+	// compare the two bit-for-bit.
+	fused bool
 
 	// probe, when non-nil, observes every charged cost (obs layer). The
 	// hot path pays exactly one nil check per charge; warm-up (charging
 	// off) emits nothing, so measurements stay comparable.
 	probe obs.EngineProbe
+
+	// Reusable scratch for Gather and VecLoadParts, so the measured loop
+	// performs zero heap allocations. An Engine models one core and is
+	// documented single-goroutine; scratch reuse relies on that.
+	gatherSeen [2 * 32]uint64
+	partsBuf   [64]byte
 }
 
 // New builds an engine for the given architecture, running in
@@ -58,7 +77,7 @@ func New(m *arch.Model, cores int) *Engine {
 	h.DRAMPenalty = m.DRAMPenalty(cores)
 	return &Engine{
 		Arch: m, Cache: h, cores: cores, maxWidth: arch.WidthScalar, charging: true,
-		opCycles: make(map[arch.OpClass]float64),
+		costs: m.CostTable(), fused: true,
 	}
 }
 
@@ -93,7 +112,8 @@ func (e *Engine) ResetCycles() {
 	e.cycles = 0
 	e.ops = 0
 	e.memCycles = 0
-	clear(e.opCycles)
+	e.opCycles = [arch.NumOpClasses]float64{}
+	e.opSeen = 0
 	e.Cache.ResetStats()
 }
 
@@ -102,7 +122,8 @@ func (e *Engine) ResetAll() {
 	e.cycles = 0
 	e.ops = 0
 	e.memCycles = 0
-	clear(e.opCycles)
+	e.opCycles = [arch.NumOpClasses]float64{}
+	e.opSeen = 0
 	e.maxWidth = arch.WidthScalar
 	e.Cache.Reset()
 }
@@ -110,6 +131,12 @@ func (e *Engine) ResetAll() {
 // SetCharging toggles cost accounting. Algorithms still execute functionally
 // while charging is off; warm-up passes use this.
 func (e *Engine) SetCharging(on bool) { e.charging = on }
+
+// SetFusedCharging toggles ChargeBatch's batched fast path (on by default).
+// With fusing off every ChargeBatch call decays to the per-op Charge loop;
+// differential tests use this to verify the two paths produce bit-identical
+// cycle totals on the same workload.
+func (e *Engine) SetFusedCharging(on bool) { e.fused = on }
 
 // SetProbe installs an observability probe (nil turns observation off).
 // The probe sees charged costs only — it never alters them — so attaching
@@ -127,9 +154,13 @@ func (e *Engine) Charge(c arch.OpClass, width int) {
 	if !e.charging {
 		return
 	}
-	cost := e.Arch.Cost(c, width)
+	cost, ok := e.costs.Lookup(c, width)
+	if !ok {
+		cost = e.Arch.Cost(c, width)
+	}
 	e.cycles += cost
 	e.opCycles[c] += cost
+	e.opSeen |= 1 << uint(c)
 	e.ops++
 	if e.probe != nil {
 		e.probe.OpCharged(c.String(), width, cost)
@@ -139,13 +170,26 @@ func (e *Engine) Charge(c arch.OpClass, width int) {
 // MemCycles returns the cycles spent in cache/DRAM accesses since reset.
 func (e *Engine) MemCycles() float64 { return e.memCycles }
 
-// OpCycles returns the per-op-class cycle breakdown since reset.
+// OpCycles returns the per-op-class cycle breakdown since reset as a fresh
+// map (a copy; mutating it cannot corrupt the engine). Hot reporting paths
+// should prefer ForEachOpCycle, which iterates without allocating.
 func (e *Engine) OpCycles() map[arch.OpClass]float64 {
-	out := make(map[arch.OpClass]float64, len(e.opCycles))
-	for k, v := range e.opCycles {
-		out[k] = v
-	}
+	out := make(map[arch.OpClass]float64)
+	e.ForEachOpCycle(func(c arch.OpClass, cy float64) {
+		out[c] = cy
+	})
 	return out
+}
+
+// ForEachOpCycle calls fn for every op class charged since reset, in
+// ascending OpClass order (a deterministic order, unlike ranging over the
+// map OpCycles returns). It performs no allocation.
+func (e *Engine) ForEachOpCycle(fn func(c arch.OpClass, cycles float64)) {
+	for c := 0; c < arch.NumOpClasses; c++ {
+		if e.opSeen&(1<<uint(c)) != 0 {
+			fn(arch.OpClass(c), e.opCycles[c])
+		}
+	}
 }
 
 // ChargeCycles adds a raw cycle amount (used for modeled fixed costs such as
@@ -306,7 +350,7 @@ func (e *Engine) VecLoadParts(bits int, a *mem.Arena, offs []int, partBytes int)
 	if len(offs)*partBytes != bits/8 {
 		panic(fmt.Sprintf("engine: %d parts of %d bytes cannot fill %d bits", len(offs), partBytes, bits))
 	}
-	buf := make([]byte, bits/8)
+	buf := e.partsBuf[:bits/8]
 	for i, off := range offs {
 		e.Charge(arch.OpVecLoad, bits)
 		if i > 0 {
@@ -322,7 +366,7 @@ func (e *Engine) VecLoadParts(bits int, a *mem.Arena, offs []int, partBytes int)
 func (e *Engine) VecStore(a *mem.Arena, off int, v vec.Vec) {
 	e.Charge(arch.OpVecStore, v.Bits())
 	e.chargeMem(a.Addr(off), v.Bytes())
-	copy(a.Bytes(off, v.Bytes()), v.ToBytes())
+	v.ToBytesInto(a.Bytes(off, v.Bytes()))
 }
 
 // CmpEq charges and performs a packed compare.
@@ -377,7 +421,11 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 	}
 	e.Charge(arch.OpVecGather, bits)
 	out := vec.Zero(bits)
-	seen := make(map[uint64]struct{}, lanes)
+	// Distinct-line tracking reuses engine scratch: a gather touches at
+	// most 2 lines per lane, so the fixed buffer always suffices and the
+	// measured loop allocates nothing. Lines are charged at first sight,
+	// in lane order, exactly as the map-based formulation did.
+	seen := e.gatherSeen[:0]
 	active := 0
 	for i := 0; i < lanes; i++ {
 		if !m.Test(i) {
@@ -386,9 +434,19 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 		active++
 		e.Charge(arch.OpVecGatherLn, bits)
 		addr := a.Addr(offs[i])
-		for _, line := range touchedLines(addr, laneBits/8) {
-			if _, ok := seen[line]; !ok {
-				seen[line] = struct{}{}
+		first := mem.LineOf(addr)
+		nl := mem.LinesTouched(addr, laneBits/8)
+		for j := 0; j < nl; j++ {
+			line := first + uint64(j*mem.LineSize)
+			dup := false
+			for _, s := range seen {
+				if s == line {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen = append(seen, line)
 				e.chargeGatherLine(line)
 			}
 		}
@@ -417,14 +475,4 @@ func (e *Engine) chargeGatherLine(line uint64) {
 	if e.probe != nil {
 		e.probe.MemCharged(cy)
 	}
-}
-
-func touchedLines(addr uint64, size int) []uint64 {
-	n := mem.LinesTouched(addr, size)
-	lines := make([]uint64, n)
-	first := mem.LineOf(addr)
-	for i := range lines {
-		lines[i] = first + uint64(i*mem.LineSize)
-	}
-	return lines
 }

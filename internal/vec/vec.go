@@ -114,18 +114,42 @@ func FromBytes(bits int, data []byte) Vec {
 // ToBytes returns a copy of the register's active bytes, little-endian.
 func (v Vec) ToBytes() []byte {
 	out := make([]byte, v.bits/8)
-	copy(out, v.b[:])
+	v.ToBytesInto(out)
 	return out
+}
+
+// ToBytesInto copies the register's active bytes, little-endian, into dst
+// and returns the byte count. It is the allocation-free variant of ToBytes
+// for hot loops with a reusable buffer; dst must hold at least Bytes()
+// bytes.
+func (v Vec) ToBytesInto(dst []byte) int {
+	n := v.bits / 8
+	if len(dst) < n {
+		panic(fmt.Sprintf("vec: ToBytesInto needs %d bytes, got %d", n, len(dst)))
+	}
+	copy(dst[:n], v.b[:n])
+	return n
 }
 
 // ToLanes returns all lane values.
 func (v Vec) ToLanes(laneBits int) []uint64 {
-	n := v.bits / laneBits
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = v.Lane(laneBits, i)
-	}
+	out := make([]uint64, v.bits/laneBits)
+	v.ToLanesInto(laneBits, out)
 	return out
+}
+
+// ToLanesInto writes all lane values into dst and returns the lane count.
+// It is the allocation-free variant of ToLanes; dst must hold at least
+// NumLanes(Bits(), laneBits) values.
+func (v Vec) ToLanesInto(laneBits int, dst []uint64) int {
+	n := v.bits / laneBits
+	if len(dst) < n {
+		panic(fmt.Sprintf("vec: ToLanesInto needs %d lanes, got %d", n, len(dst)))
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = v.Lane(laneBits, i)
+	}
+	return n
 }
 
 // CmpEq compares lanes for equality and returns a mask with bit i set when

@@ -31,8 +31,14 @@ BEGIN { printf "{\n  \"format\": \"go test -bench\",\n  \"benchmarks\": [\n" }
 /^Benchmark/ && /ns\/op/ {
     line = $0
     gsub(/\\/, "\\\\", line); gsub(/"/, "\\\"", line); gsub(/\t/, "\\t", line)
-    printf "%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"line\":\"%s\"}",
-        sep, $1, $2, $3, line
+    # Benchmarks that report the "sim-Mlookups/s" custom metric (simulator
+    # throughput) carry it as an extra JSON field so benchdiff.sh can guard
+    # sim-speed regressions directly.
+    sim = ""
+    for (i = 2; i <= NF; i++) if ($i == "sim-Mlookups/s") sim = $(i - 1)
+    extra = (sim != "") ? sprintf(",\"sim_mlookups_per_s\":%s", sim) : ""
+    printf "%s    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s%s,\"line\":\"%s\"}",
+        sep, $1, $2, $3, extra, line
     sep = ",\n"
 }
 END { printf "\n  ]\n}\n" }

@@ -57,6 +57,19 @@ diff "$tmp/faults.table" internal/experiments/testdata/fault_sweep_table.golden.
 diff "$tmp/faults.json" internal/experiments/testdata/fault_sweep_trace.golden.json
 diff "$tmp/faults.csv" internal/experiments/testdata/fault_sweep_metrics.golden.csv
 
+# Sim-speed smoke: -simspeed must print the simulator-throughput table to
+# stderr while leaving stdout (the deterministic tables) untouched by any
+# wall-clock value, and benchdiff must accept a snapshot against itself.
+echo "==> sim-speed smoke (-simspeed + benchdiff)"
+$GO run ./cmd/simdhtbench -queries 200 -seed 1 -simspeed run \
+    > "$tmp/simspeed.out" 2> "$tmp/simspeed.err"
+grep -q "Sim Mlookups/s" "$tmp/simspeed.err"
+if grep -q "Sim Mlookups/s" "$tmp/simspeed.out"; then
+    echo "ci.sh: sim-speed table leaked into stdout" >&2
+    exit 1
+fi
+scripts/benchdiff.sh BENCH_baseline.json BENCH_baseline.json >/dev/null
+
 # Short fuzz of the delivery and Multi-Get paths (seed corpora replay plus a
 # few seconds of mutation).
 echo "==> fuzz smoke"
