@@ -274,5 +274,28 @@ func BenchmarkFig11bPhaseBreakdown(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetStudyPoint regenerates one point of the fleet-scale
+// replication study: an 8-server, R=3 fleet under open-loop arrivals,
+// quorum writes and fault-driven membership churn (rebalance storms).
+func BenchmarkFleetStudyPoint(b *testing.B) {
+	opts := experiments.FleetOptions{
+		KVSOptions: experiments.KVSOptions{
+			Items: 20000, Workers: 4, Clients: 8, Requests: 1200,
+			Batches: []int{16}, Seed: 7,
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FleetStudyPoint(8, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Epochs == 0 {
+			b.Fatal("fleet benchmark ran without membership churn")
+		}
+		b.ReportMetric(res.GoodputKeys/1e6, "goodput-Mkeys/s")
+		b.ReportMetric(res.P99Latency*1e6, "p99-us")
+	}
+}
+
 // newRand is a tiny helper for deterministic benchmark inputs.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

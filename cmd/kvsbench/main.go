@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	kvsbench [flags] [fig11a|fig11b|etc|cluster|fault-sweep|single|all]
+//	kvsbench [flags] [fig11a|fig11b|etc|cluster|fleet|fault-sweep|single|all]
 //
 // `single` runs one backend/batch combination (see -backend / -batch) and
 // prints the full result line.
+//
+// `fleet` (also reachable as `kvsbench -fleet`) runs the fleet-scale
+// replication study: R-way replicated Multi-Gets with open-loop arrivals,
+// quorum writes, replica failover, read-repair and fault-driven membership
+// churn (rebalance storms), swept over -fleet-sizes. Without -faults it uses
+// a built-in rolling-failure plan.
 //
 // Fault injection: -faults arms a deterministic fault plan (message
 // drop/dup/delay on the fabric, crash/slowdown windows and insert pressure
@@ -59,6 +65,12 @@ func main() {
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'drop=0.1,crash=20us:10us,timeout=10us,retries=3,backoff=5us' (empty = no faults)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed); all fault timing is virtual, so output stays deterministic")
 
+		fleetCmd    = flag.Bool("fleet", false, "run the fleet-scale replication study (same as the `fleet` command)")
+		fleetSizes  = flag.String("fleet-sizes", "3,8,16,32,64", "fleet: comma-separated server counts")
+		replication = flag.Int("replication", 3, "fleet: replica-set width R (clamped to each fleet size)")
+		arrivalRate = flag.Float64("arrival-rate", 2e5, "fleet: aggregate open-loop Multi-Get arrival rate (requests/s of virtual time)")
+		writeFrac   = flag.Float64("write-frac", 0.05, "fleet: fraction of requests issued as quorum writes")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -100,6 +112,19 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
+	if *fleetCmd {
+		args = append([]string{"fleet"}, args...)
+		if len(args) == 2 && args[1] == "all" && flag.NArg() == 0 {
+			args = args[:1] // bare `kvsbench -fleet` runs only the fleet study
+		}
+	}
+	fleetOpts := experiments.FleetOptions{
+		KVSOptions:    opts,
+		FleetSizes:    parseBatches(*fleetSizes),
+		Replication:   *replication,
+		ArrivalRate:   *arrivalRate,
+		WriteFraction: *writeFrac,
+	}
 	for _, cmd := range args {
 		switch cmd {
 		case "all":
@@ -125,6 +150,10 @@ func main() {
 			t, err := experiments.ClusterStudy(opts)
 			check(err)
 			emit(t, *csv)
+		case "fleet":
+			t, err := experiments.FleetStudy(fleetOpts)
+			check(err)
+			emit(t, *csv)
 		case "fault-sweep":
 			t, err := experiments.FaultSweep(opts)
 			check(err)
@@ -136,7 +165,7 @@ func main() {
 			fmt.Printf("  phases per batch: pre=%.2fus lookup=%.2fus post=%.2fus (util %.2f)\n",
 				res.Breakdown.Pre*1e6, res.Breakdown.Lookup*1e6, res.Breakdown.Post*1e6, res.WorkerUtil)
 		default:
-			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, fault-sweep, single, all)", cmd))
+			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, fleet, fault-sweep, single, all)", cmd))
 		}
 	}
 	check(writeObsArtifacts(col, *traceOut, *metricsOut))

@@ -321,7 +321,10 @@ func ClusterStudy(o KVSOptions) (*report.Table, error) {
 				for i := range servers {
 					space := mem.NewAddressSpace()
 					store := kvs.NewItemStore(space)
-					idx, err := kvs.NewVerticalIndex(space, o.Items/pt.nservers+o.Items/4, 256, o.Seed+int64(i))
+					// Ceil division: flooring the per-server share can
+					// undersize the index when Items doesn't divide evenly,
+					// and an imbalanced ring would fail the load.
+					idx, err := kvs.NewVerticalIndex(space, (o.Items+pt.nservers-1)/pt.nservers+o.Items/4, 256, o.Seed+int64(i))
 					if err != nil {
 						return memslap.ClusterResults{}, err
 					}

@@ -347,6 +347,19 @@ func (p *Plan) CrashedAt(now float64) bool {
 	return inWindow(now+p.crashPhase, p.spec.CrashPeriod, p.spec.CrashDown)
 }
 
+// CrashWindow returns this plan's k-th (k >= 1) crash window in absolute
+// virtual time as [start, start+dur), honouring the per-server phase set by
+// ForServer. ok is false when the plan has no crash windows configured.
+// Fleet membership churn uses this to schedule Leave at window start and
+// Join at window end, so ring epochs line up exactly with the request drops
+// CrashedAt produces.
+func (p *Plan) CrashWindow(k int) (start, dur float64, ok bool) {
+	if p == nil || k < 1 || p.spec.CrashPeriod <= 0 || p.spec.CrashDown <= 0 {
+		return 0, 0, false
+	}
+	return float64(k)*p.spec.CrashPeriod - p.crashPhase, p.spec.CrashDown, true
+}
+
 // SlowdownAt returns the service-time multiplier at virtual time now: the
 // spec's slow factor inside a slow window, 1 outside.
 func (p *Plan) SlowdownAt(now float64) float64 {

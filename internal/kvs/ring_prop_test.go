@@ -1,0 +1,246 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func propKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("prop-key-%012d", i))
+	}
+	return keys
+}
+
+// Property: replica sets are distinct servers, lead with the primary owner,
+// are capped at the member count, and smaller sets are prefixes of larger
+// ones (rank k does not depend on how many replicas were requested).
+func TestReplicaOwnersDistinctPrefix(t *testing.T) {
+	ring, err := NewRing(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch []int
+	for _, key := range propKeys(5000) {
+		full := ring.ReplicaOwners(key, 8, nil)
+		if len(full) != 8 {
+			t.Fatalf("key %q: %d replicas for n=8 over 8 servers", key, len(full))
+		}
+		seen := make(map[int]bool)
+		for _, s := range full {
+			if s < 0 || s >= 8 {
+				t.Fatalf("key %q: replica %d out of range", key, s)
+			}
+			if seen[s] {
+				t.Fatalf("key %q: duplicate replica %d in %v", key, s, full)
+			}
+			seen[s] = true
+		}
+		if full[0] != ring.Owner(key) {
+			t.Fatalf("key %q: rank-0 replica %d != owner %d", key, full[0], ring.Owner(key))
+		}
+		for n := 1; n < 8; n++ {
+			part := ring.ReplicaOwners(key, n, scratch)
+			scratch = part
+			if len(part) != n {
+				t.Fatalf("key %q: %d replicas for n=%d", key, len(part), n)
+			}
+			for i := range part {
+				if part[i] != full[i] {
+					t.Fatalf("key %q: n=%d not a prefix of n=8: %v vs %v", key, n, part, full)
+				}
+			}
+		}
+		// Out-of-range requests clamp instead of panicking.
+		if got := ring.ReplicaOwners(key, 0, nil); len(got) != 1 {
+			t.Fatalf("n=0 returned %v", got)
+		}
+		if got := ring.ReplicaOwners(key, 100, nil); len(got) != 8 {
+			t.Fatalf("n=100 returned %d replicas", len(got))
+		}
+	}
+}
+
+// Property: ownership is a function of the member set alone. A ring built
+// directly over a member set places keys identically to one that reached
+// the same membership through any Join/Leave history, epoch counters aside.
+func TestRingOwnershipStableAcrossIdenticalMemberships(t *testing.T) {
+	base, err := NewRing(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 servers -> leave 2 -> join 7 -> join 2 -> leave 7: members {0..5} again.
+	r, err := base.Leave(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err = r.Join(7); err != nil {
+		t.Fatal(err)
+	}
+	if r, err = r.Join(2); err != nil {
+		t.Fatal(err)
+	}
+	if r, err = r.Leave(7); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 4 {
+		t.Fatalf("epoch = %d after 4 membership changes, want 4", r.Epoch())
+	}
+	if got, want := fmt.Sprint(r.Members()), fmt.Sprint(base.Members()); got != want {
+		t.Fatalf("members %s, want %s", got, want)
+	}
+	for _, key := range propKeys(20000) {
+		if r.Owner(key) != base.Owner(key) {
+			t.Fatalf("key %q: owner %d via history, %d direct", key, r.Owner(key), base.Owner(key))
+		}
+		a := r.ReplicaOwners(key, 3, nil)
+		b := base.ReplicaOwners(key, 3, nil)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("key %q: replicas %v via history, %v direct", key, a, b)
+		}
+	}
+}
+
+// Property: a single Leave remaps only the leaver's keys, and the moved
+// fraction of a large key sample stays within the leaver's owned share of
+// the hash space plus a sampling epsilon (minimal remapping).
+func TestRingLeaveMinimalRemap(t *testing.T) {
+	const nKeys = 100000
+	ring, err := NewRing(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := propKeys(nKeys)
+	const leaver = 3
+	share := ring.OwnedShare(leaver)
+	next, err := ring.Leave(leaver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range keys {
+		oldOwner, newOwner := ring.Owner(key), next.Owner(key)
+		if oldOwner == newOwner {
+			continue
+		}
+		if oldOwner != leaver {
+			t.Fatalf("key %q moved %d->%d, but server %d left", key, oldOwner, newOwner, leaver)
+		}
+		moved++
+	}
+	frac := float64(moved) / nKeys
+	// Sampling noise at p~1/8, n=100k is sigma ~1e-3; 5e-3 is five sigma.
+	const eps = 5e-3
+	if frac > share+eps {
+		t.Fatalf("leave moved %.4f of keys, owned share was %.4f (+eps %.0e)", frac, share, eps)
+	}
+	if moved == 0 {
+		t.Fatal("leave moved no keys at all — remap accounting is broken")
+	}
+}
+
+// Property: a single Join pulls keys only onto the joining server, bounded
+// by its share of the new ring; every surviving replica of every key is
+// preserved across the epoch.
+func TestRingJoinMinimalRemap(t *testing.T) {
+	const nKeys = 100000
+	ring, err := NewRing(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := propKeys(nKeys)
+	const joiner = 7
+	next, err := ring.Join(joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := next.OwnedShare(joiner)
+	moved := 0
+	for _, key := range keys {
+		oldOwner, newOwner := ring.Owner(key), next.Owner(key)
+		if oldOwner != newOwner {
+			if newOwner != joiner {
+				t.Fatalf("key %q moved %d->%d, but server %d joined", key, oldOwner, newOwner, joiner)
+			}
+			moved++
+		}
+		// R=3 replica sets: survivors are preserved, at most one new member.
+		oldSet := ring.ReplicaOwners(key, 3, nil)
+		newSet := next.ReplicaOwners(key, 3, nil)
+		fresh := 0
+		for _, s := range newSet {
+			found := false
+			for _, o := range oldSet {
+				if o == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fresh++
+				if s != joiner {
+					t.Fatalf("key %q: replica set gained %d, but server %d joined", key, s, joiner)
+				}
+			}
+		}
+		if fresh > 1 {
+			t.Fatalf("key %q: single join added %d replicas", key, fresh)
+		}
+	}
+	frac := float64(moved) / nKeys
+	const eps = 5e-3
+	if frac > share+eps {
+		t.Fatalf("join moved %.4f of keys, new share is %.4f (+eps %.0e)", frac, share, eps)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys at all — remap accounting is broken")
+	}
+}
+
+// OwnedShare sums to 1 across members, so it is a meaningful remap bound.
+func TestRingOwnedShareSumsToOne(t *testing.T) {
+	ring, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range ring.Members() {
+		sum += ring.OwnedShare(s)
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("owned shares sum to %.9f, want 1", sum)
+	}
+}
+
+func TestRingMembershipErrors(t *testing.T) {
+	ring, err := NewRing(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.Join(0); err == nil {
+		t.Error("joining an existing member must fail")
+	}
+	if _, err := ring.Join(-1); err == nil {
+		t.Error("joining a negative id must fail")
+	}
+	if _, err := ring.Leave(5); err == nil {
+		t.Error("leaving a non-member must fail")
+	}
+	solo, err := ring.Leave(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.Leave(0); err == nil {
+		t.Error("last member must not leave")
+	}
+	if _, err := NewRingMembers(nil, 0); err == nil {
+		t.Error("empty member set must fail")
+	}
+	if _, err := NewRingMembers([]int{1, 1}, 0); err == nil {
+		t.Error("duplicate members must fail")
+	}
+	if _, err := NewRingMembers([]int{0, -2}, 0); err == nil {
+		t.Error("negative members must fail")
+	}
+}

@@ -69,6 +69,12 @@ type Server struct {
 	Evictions   uint64
 	PhaseTotals PhaseBreakdown
 
+	// Replica-apply stats (HandleReplicate), accumulated across the whole
+	// run like the fault counters — ResetStats leaves them alone because
+	// rebalance spans warm-up and measurement alike.
+	ReplicaBatches uint64
+	ReplicaItems   uint64
+
 	// Fault-injection stats.
 	CrashDrops       uint64 // requests dropped inside crash windows
 	Slowdowns        uint64 // batches stretched by a slow window

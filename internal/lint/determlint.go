@@ -34,6 +34,7 @@ var DetermLint = &Analyzer{
 var determScope = []string{
 	"simdhtbench/internal/experiments",
 	"simdhtbench/internal/fault",
+	"simdhtbench/internal/memslap",
 	"simdhtbench/internal/sweep",
 	"simdhtbench/internal/report",
 	"simdhtbench/internal/obs",

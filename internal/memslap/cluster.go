@@ -48,10 +48,10 @@ func (r ClusterResults) String() string {
 // measure the same pipeline.
 func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring *kvs.Ring, keys [][]byte, cfg Config) (ClusterResults, error) {
 	if len(servers) == 0 || ring == nil || ring.Servers() != len(servers) {
-		return ClusterResults{}, fmt.Errorf("memslap: ring and server list must agree")
+		return ClusterResults{}, &ConfigError{Field: "ring", Reason: "ring and server list must agree"}
 	}
 	if cfg.Clients <= 0 || cfg.BatchSize <= 0 || cfg.Requests <= 0 {
-		return ClusterResults{}, fmt.Errorf("memslap: clients, batch size and requests must be positive")
+		return ClusterResults{}, &ConfigError{Field: "clients/batch/requests", Reason: "must be positive"}
 	}
 	if cfg.Warmup <= 0 {
 		cfg.Warmup = cfg.Requests / 5
@@ -194,8 +194,25 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 }
 
 // LoadCluster distributes `count` memslap-style items across the cluster by
-// ring ownership and returns all keys.
+// ring ownership and returns all keys. A placement failure (e.g. an
+// undersized index on one server) surfaces as a typed *LoadError instead of
+// silently truncating the working set.
 func LoadCluster(servers []*kvs.Server, ring *kvs.Ring, count, keyBytes, valueBytes int) ([][]byte, error) {
+	return loadRingKeys(count, keyBytes, valueBytes, func(key, value []byte) (int, error) {
+		s := ring.Owner(key)
+		if _, err := servers[s].Set(key, value); err != nil {
+			return s, err
+		}
+		return -1, nil
+	})
+}
+
+// loadRingKeys generates the canonical memslap key sequence — fixed-width
+// decimal keys, deduplicated on their 32-bit hash so every loaded key is
+// retrievable through the SIMD index — and hands each (key, value) pair to
+// place. LoadCluster and Fleet.LoadFleet share this loop, which is what
+// makes their key sets bitwise comparable under the same parameters.
+func loadRingKeys(count, keyBytes, valueBytes int, place func(key, value []byte) (int, error)) ([][]byte, error) {
 	keys := make([][]byte, 0, count)
 	seen := make(map[uint32]struct{}, count)
 	value := make([]byte, valueBytes)
@@ -204,7 +221,8 @@ func LoadCluster(servers []*kvs.Server, ring *kvs.Ring, count, keyBytes, valueBy
 	}
 	for i := 0; len(keys) < count; i++ {
 		if i > count*2+1000 {
-			return nil, fmt.Errorf("memslap: too many hash collisions loading %d cluster keys", count)
+			return nil, &LoadError{Server: -1, Loaded: len(keys), Want: count,
+				Err: fmt.Errorf("too many 32-bit hash collisions")}
 		}
 		key := makeKey(i, keyBytes)
 		h := kvs.Hash32(key)
@@ -212,8 +230,8 @@ func LoadCluster(servers []*kvs.Server, ring *kvs.Ring, count, keyBytes, valueBy
 			continue
 		}
 		seen[h] = struct{}{}
-		if _, err := servers[ring.Owner(key)].Set(key, value); err != nil {
-			return nil, err
+		if srv, err := place(key, value); err != nil {
+			return nil, &LoadError{Server: srv, Loaded: len(keys), Want: count, Err: err}
 		}
 		keys = append(keys, key)
 	}

@@ -91,6 +91,31 @@ type FaultProbe interface {
 	BatchDegraded(served, missing int, at float64)
 }
 
+// FleetProbe observes fleet-scale replication in internal/memslap: ring
+// membership epochs and the rebalance storms they trigger, per-rank replica
+// reads with failover, read-repair, and quorum writes.
+type FleetProbe interface {
+	// EpochAdvanced fires when the ring moves to a new epoch: the
+	// membership change (join or leave of server), how many key transfers
+	// the resulting rebalance enqueued, and how many keys lost their last
+	// live replica (unrecoverable until read-repair or rewrite).
+	EpochAdvanced(epoch, server int, join bool, moved, lost int, at float64)
+	// RebalanceDone fires when the last transfer of an epoch's rebalance
+	// is applied (start is the epoch-advance time, end now).
+	RebalanceDone(epoch, moved int, start, end float64)
+	// ReplicaRead fires once per sub-batch read served, with the replica
+	// rank it landed on (0 = primary).
+	ReplicaRead(rank int)
+	// Failover fires when a timed-out sub-batch rotates to the next
+	// replica rank.
+	Failover(rank int, at float64)
+	// ReadRepair fires when a divergent read triggers repair writes for
+	// `keys` keys.
+	ReadRepair(keys int, at float64)
+	// QuorumWrite fires when a replicated write reaches its ack quorum.
+	QuorumWrite(acks int, at float64)
+}
+
 // secondsToUs converts DES virtual seconds to trace microseconds.
 const secondsToUs = 1e6
 
@@ -387,4 +412,86 @@ func (p *faultProbe) BatchDegraded(served, missing int, at float64) {
 	p.degraded.Inc()
 	p.missing.Add(uint64(missing))
 	p.instant("degraded", at, map[string]interface{}{"served": served, "missing": missing})
+}
+
+type fleetProbe struct {
+	c            *Collector
+	epochs       *Counter
+	moved        *Counter
+	lost         *Counter
+	rebalances   *Counter
+	replicaReads map[int]*Counter
+	failovers    *Counter
+	repairs      *Counter
+	repairKeys   *Counter
+	quorumWrites *Counter
+}
+
+// FleetProbe returns a probe recording fleet replication events into this
+// scope, or nil when the collector is nil. Epoch advances become instants
+// and completed rebalances become spans on the scope's "rebalance" track,
+// so ownership-transfer storms line up with the mget spans and fault
+// instants in Perfetto.
+func (c *Collector) FleetProbe() FleetProbe {
+	if c == nil {
+		return nil
+	}
+	return &fleetProbe{
+		c:            c,
+		epochs:       c.Counter("fleet_epochs_total"),
+		moved:        c.Counter("fleet_keys_moved_total"),
+		lost:         c.Counter("fleet_keys_lost_total"),
+		rebalances:   c.Counter("fleet_rebalances_done_total"),
+		replicaReads: make(map[int]*Counter),
+		failovers:    c.Counter("fleet_failovers_total"),
+		repairs:      c.Counter("fleet_read_repairs_total"),
+		repairKeys:   c.Counter("fleet_read_repair_keys_total"),
+		quorumWrites: c.Counter("fleet_quorum_writes_total"),
+	}
+}
+
+func (p *fleetProbe) EpochAdvanced(epoch, server int, join bool, moved, lost int, at float64) {
+	p.epochs.Inc()
+	p.moved.Add(uint64(moved))
+	p.lost.Add(uint64(lost))
+	change := "leave"
+	if join {
+		change = "join"
+	}
+	p.c.Tracer.Instant(p.c.trackName("rebalance"),
+		fmt.Sprintf("epoch %d: %s server %d", epoch, change, server), at*secondsToUs,
+		map[string]interface{}{"moved": moved, "lost": lost})
+}
+
+func (p *fleetProbe) RebalanceDone(epoch, moved int, start, end float64) {
+	p.rebalances.Inc()
+	p.c.Tracer.Span(p.c.trackName("rebalance"), fmt.Sprintf("rebalance epoch %d", epoch),
+		start*secondsToUs, (end-start)*secondsToUs,
+		map[string]interface{}{"moved": moved})
+}
+
+func (p *fleetProbe) ReplicaRead(rank int) {
+	cnt, ok := p.replicaReads[rank]
+	if !ok {
+		cnt = p.c.Counter("fleet_replica_reads_total", Label{Key: "rank", Value: fmt.Sprintf("%d", rank)})
+		p.replicaReads[rank] = cnt
+	}
+	cnt.Inc()
+}
+
+func (p *fleetProbe) Failover(rank int, at float64) {
+	p.failovers.Inc()
+	p.c.Tracer.Instant(p.c.trackName("rebalance"), "failover", at*secondsToUs,
+		map[string]interface{}{"rank": rank})
+}
+
+func (p *fleetProbe) ReadRepair(keys int, at float64) {
+	p.repairs.Inc()
+	p.repairKeys.Add(uint64(keys))
+	p.c.Tracer.Instant(p.c.trackName("rebalance"), "read-repair", at*secondsToUs,
+		map[string]interface{}{"keys": keys})
+}
+
+func (p *fleetProbe) QuorumWrite(acks int, at float64) {
+	p.quorumWrites.Inc()
 }

@@ -57,6 +57,27 @@ diff "$tmp/faults.table" internal/experiments/testdata/fault_sweep_table.golden.
 diff "$tmp/faults.json" internal/experiments/testdata/fault_sweep_trace.golden.json
 diff "$tmp/faults.csv" internal/experiments/testdata/fault_sweep_metrics.golden.csv
 
+# Fleet smoke: the fleet-scale replication study (replicated reads, quorum
+# writes, failover, fault-driven rebalance storms) must reproduce its goldens
+# AND self-diff byte-for-byte at two different -parallel counts — the
+# determinism contract the fleet golden test pins, re-checked through the CLI.
+echo "==> CLI smoke (fleet vs goldens, -parallel 1 vs 4)"
+run_fleet() {
+    $GO run ./cmd/kvsbench -fleet -items 2000 -workers 2 -clients 2 \
+        -requests 60 -batches 8 -seed 7 -fleet-sizes 3,5 -arrival-rate 200000 \
+        -faults 'drop=0.05,crash=100µs:30µs,timeout=10µs,retries=2,backoff=5µs' \
+        -parallel "$1" -trace "$2" -metrics "$3" > "$4"
+}
+run_fleet 1 "$tmp/fleet1.json" "$tmp/fleet1.csv" "$tmp/fleet1.txt"
+run_fleet 4 "$tmp/fleet4.json" "$tmp/fleet4.csv" "$tmp/fleet4.txt"
+diff "$tmp/fleet1.txt" "$tmp/fleet4.txt"
+diff "$tmp/fleet1.json" "$tmp/fleet4.json"
+diff "$tmp/fleet1.csv" "$tmp/fleet4.csv"
+sed '$d' "$tmp/fleet1.txt" > "$tmp/fleet1.table" # emit() ends with one blank line
+diff "$tmp/fleet1.table" internal/experiments/testdata/fleet_study_table.golden.txt
+diff "$tmp/fleet1.json" internal/experiments/testdata/fleet_study_trace.golden.json
+diff "$tmp/fleet1.csv" internal/experiments/testdata/fleet_study_metrics.golden.csv
+
 # Sim-speed smoke: -simspeed must print the simulator-throughput table to
 # stderr while leaving stdout (the deterministic tables) untouched by any
 # wall-clock value, and benchdiff must accept a snapshot against itself.
