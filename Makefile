@@ -18,22 +18,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: charging, determinism and vec-lane
-# discipline (see internal/lint). Exits non-zero on any finding.
+# Project-specific static analysis: allocation, charging, determinism,
+# probe-guard, worker-sharing and vec-lane discipline (see internal/lint).
+# The committed baseline holds every analyzer at zero findings; the run
+# fails on any count regression.
 lint:
-	$(GO) run ./cmd/simdhtlint -C .
+	$(GO) run ./cmd/simdhtlint -C . -baseline lint_baseline.json
 
 # Root benchmark suite snapshot: writes BENCH_baseline.{txt,json} (see
 # scripts/bench.sh for knobs and the benchstat workflow).
 bench:
 	sh scripts/bench.sh
 
-# Short native-fuzz pass over the delivery and Multi-Get paths (seed corpora
-# under testdata/fuzz/). Bump FUZZTIME for a longer hunt.
+# Short native-fuzz pass over the delivery and Multi-Get paths plus the
+# lint CFG builder (seed corpora under testdata/fuzz/). Bump FUZZTIME for a
+# longer hunt.
 fuzz-smoke:
 	$(GO) test ./internal/netsim -fuzz FuzzNetsimDeliver -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvs -fuzz FuzzMultiGet -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/kvs -fuzz FuzzRingMembership -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lint -run '^$$' -fuzz FuzzCFGBuild -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

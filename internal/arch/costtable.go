@@ -40,6 +40,7 @@ func (t *CostTable) Lookup(c OpClass, width int) (float64, bool) {
 // build itself is serialized, so models shared across sweep workers resolve
 // it exactly once.
 func (m *Model) CostTable() *CostTable {
+	//lint:ignore alloclint once-per-model build; steady-state charges hit the memoized table
 	m.tabOnce.Do(func() {
 		t := &CostTable{}
 		for c := OpClass(0); int(c) < NumOpClasses; c++ {

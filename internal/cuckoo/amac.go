@@ -31,6 +31,8 @@ const defaultAMACGroup = 10
 // parallelism (which AMAC also gets) from how much is instruction reduction
 // (which only SIMD gets). Results land in res; hit flags in found. Returns
 // the hit count.
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (t *Table) LookupAMACBatch(e *engine.Engine, s *Stream, from, n int, cfg AMACConfig, res *ResultBuf, found []bool) int {
 	g := cfg.GroupSize
 	if g == 0 {

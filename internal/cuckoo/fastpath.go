@@ -31,6 +31,7 @@ type lookupScratch struct {
 // array only when the high-water mark rises.
 func intScratch(buf *[]int, n int) []int {
 	if cap(*buf) < n {
+		//lint:ignore alloclint grows only when the high-water mark rises; steady state reuses the backing array
 		*buf = make([]int, n)
 	}
 	return (*buf)[:n]
@@ -39,6 +40,7 @@ func intScratch(buf *[]int, n int) []int {
 // u64Scratch is intScratch for uint64 slices.
 func u64Scratch(buf *[]uint64, n int) []uint64 {
 	if cap(*buf) < n {
+		//lint:ignore alloclint grows only when the high-water mark rises; steady state reuses the backing array
 		*buf = make([]uint64, n)
 	}
 	return (*buf)[:n]
@@ -76,14 +78,20 @@ func (t *Table) bundlesFor(m *arch.Model, width int) *templateBundles {
 			return b
 		}
 	}
+	// Warm-up: the bundle cache is built on first use per (model, width)
+	// pair; every later lookup takes the linear scan above and allocates
+	// nothing.
+	//lint:ignore alloclint warm-up bundle-cache build, first use per (model, width) only
 	items := make([]engine.CostItem, 0, 3*t.L.N)
 	for i := 0; i < t.L.N; i++ {
+		//lint:ignore alloclint append stays within the capacity reserved one line up
 		items = append(items,
 			engine.CostItem{Class: arch.OpVecMul, Width: width},
 			engine.CostItem{Class: arch.OpVecShift, Width: width},
 			engine.CostItem{Class: arch.OpVecAnd, Width: width},
 		)
 	}
+	//lint:ignore alloclint warm-up bundle-cache build, first use per (model, width) only
 	b := &templateBundles{
 		model:   m,
 		width:   width,
@@ -98,6 +106,7 @@ func (t *Table) bundlesFor(m *arch.Model, width int) *templateBundles {
 			{Class: arch.OpScalarBranch, Width: arch.WidthScalar},
 		}),
 	}
+	//lint:ignore alloclint warm-up bundle-cache build, first use per (model, width) only
 	t.bundles = append(t.bundles, b)
 	return b
 }

@@ -53,6 +53,8 @@ type HorizontalConfig struct {
 // Bucket-index computation is vectorized across keys (calc_N_hash_buckets
 // in the paper): the packed multiply-shift is charged once per vector-full
 // of upcoming keys, amortizing it the way the real implementation does.
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, cfg HorizontalConfig, res *ResultBuf, found []bool) int {
 	okCfg, maxBPV := HorVValid(cfg.Width, t.L)
 	if !okCfg {
@@ -97,11 +99,11 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 			buckets := intScratch(&t.scratch.buckets, bpv)[:0]
 			for j := lo; j < hi; j++ {
 				b := t.Bucket(j, key)
-				buckets = append(buckets, b)
+				buckets = append(buckets, b) //lint:ignore alloclint appends stay within the bpv capacity intScratch reserved
 				offs = append(offs, t.L.keyOff(b, 0))
 			}
 			for len(offs) < bpv {
-				offs = append(offs, offs[len(offs)-1])
+				offs = append(offs, offs[len(offs)-1]) //lint:ignore alloclint pad appends stay within the bpv capacity intScratch reserved
 				buckets = append(buckets, buckets[len(buckets)-1])
 			}
 			pad := cfg.Width/8 - bpv*loadBytes

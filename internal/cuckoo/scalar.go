@@ -16,6 +16,8 @@ import (
 // early exit on match — the optimization a tuned scalar implementation
 // uses, which is what keeps the scalar baseline strong under skewed access
 // (Fig. 5's discussion).
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (t *Table) LookupScalarBatch(e *engine.Engine, s *Stream, from, n int, res *ResultBuf, found []bool) int {
 	hits := 0
 	for q := 0; q < n; q++ {

@@ -53,6 +53,8 @@ type VerticalConfig struct {
 //
 // With M > 1 the same template runs vertically over a BCHT by looping over
 // the M slots with selective gathers — the hybrid of Case Study ⑤.
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cfg VerticalConfig, res *ResultBuf, found []bool) int {
 	okCfg, w := VerVValid(cfg.Width, Layout{N: t.L.N, M: 1, KeyBits: t.L.KeyBits, ValBits: t.L.ValBits, BucketBits: t.L.BucketBits})
 	if !okCfg {

@@ -136,6 +136,7 @@ func (h eventHeap) less(i, j int) bool {
 
 // push appends ev and sifts it up to its heap position.
 func (h *eventHeap) push(ev event) {
+	//lint:ignore alloclint the heap's backing array grows to the high-water event count and is reused for the rest of the run
 	*h = append(*h, ev)
 	q := *h
 	i := len(q) - 1

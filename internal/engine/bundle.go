@@ -33,6 +33,7 @@ type bundleItem struct {
 // NewCostBundle resolves the items' costs against m. The bundle is
 // immutable and safe to share across engines running the same model.
 func NewCostBundle(m *arch.Model, items []CostItem) *CostBundle {
+	//lint:ignore alloclint bundles are built once at template warm-up and shared; the charging fast path only reads them
 	b := &CostBundle{model: m, items: make([]bundleItem, len(items))}
 	for i, it := range items {
 		b.items[i] = bundleItem{class: it.Class, width: it.Width, cost: m.Cost(it.Class, it.Width)}

@@ -446,6 +446,7 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 				}
 			}
 			if !dup {
+				//lint:ignore alloclint seen reuses e.gatherSeen's backing array, capped at the lane count
 				seen = append(seen, line)
 				e.chargeGatherLine(line)
 			}

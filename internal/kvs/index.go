@@ -180,6 +180,8 @@ func (x *HorizontalIndex) Delete(_ *ItemStore, hash32 uint32, _ []byte) bool {
 }
 
 // LookupBatch implements Index.
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (x *HorizontalIndex) LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int {
 	//lint:ignore chargelint stage is the uncharged pre-process (parse) phase; lookup charging starts at the batch kernel
 	x.stage(hashes)
@@ -227,6 +229,8 @@ func (x *VerticalIndex) Delete(_ *ItemStore, hash32 uint32, _ []byte) bool {
 }
 
 // LookupBatch implements Index.
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (x *VerticalIndex) LookupBatch(e *engine.Engine, store *ItemStore, keys [][]byte, hashes []uint32, refs []uint32) int {
 	//lint:ignore chargelint stage is the uncharged pre-process (parse) phase; lookup charging starts at the batch kernel
 	x.stage(hashes)

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocLint statically enforces the zero-alloc discipline PR 5's
+// AllocsPerRun==0 tests pin dynamically: inside the charged lookup/insert
+// templates — and everything reachable from them through the call graph —
+// there must be no heap allocation on the steady-state path. The dynamic
+// pins only cover the configurations a test happens to run; this pass covers
+// every path, every time.
+//
+// Hot roots are declared in the source with a directive on the function:
+//
+//	//lint:hotpath <reason>
+//
+// From those roots the call graph (callgraph.go) is walked, including
+// CHA-resolved interface dispatch, and every reachable function is scanned
+// for allocation sites:
+//
+//   - make(map/chan/[]T) and new(T);
+//   - append (may grow the backing array — scratch-backed appends that are
+//     provably within capacity carry a reasoned suppression);
+//   - map and slice composite literals, and address-taken composite
+//     literals (&T{...} escapes when it outlives the frame);
+//   - function literals (closure allocation);
+//   - interface boxing: a concrete value passed to an interface-typed
+//     parameter or converted to an interface type.
+//
+// Two path families are exempt as cold by construction: subtrees of
+// panic(...) calls, and subtrees of fmt.Errorf/errors.New calls (error
+// construction happens only on failure paths, which the AllocsPerRun pins
+// also exclude). Dispatch through internal/obs probe interfaces is not
+// followed and obs itself is never scanned: probes are nil-means-free
+// opt-in observability, explicitly outside the zero-alloc contract (a run
+// with probes attached is a profiling run, not a measurement run).
+var AllocLint = &Analyzer{
+	Name: "alloclint",
+	Doc:  "functions marked //lint:hotpath, and everything they reach, must not allocate",
+	Run:  runAllocLint,
+}
+
+const obsPkgPath = "simdhtbench/internal/obs"
+
+const hotpathPrefix = "//lint:hotpath"
+
+func runAllocLint(pass *Pass) {
+	g := pass.Module.CallGraph()
+
+	// Collect roots from the module's own packages (not the whole
+	// universe: a synthetic test package must not inherit the real
+	// module's hot roots).
+	inModule := make(map[*Package]bool, len(pass.Module.Pkgs))
+	for _, pkg := range pass.Module.Pkgs {
+		inModule[pkg] = true
+	}
+	var roots []*CGNode
+	for _, pkg := range pass.Module.Pkgs {
+		for _, f := range pkg.Files {
+			pkg := pkg
+			eachFuncDecl(f, func(fd *ast.FuncDecl) {
+				reason, ok := hotpathDirective(fd)
+				if !ok {
+					return
+				}
+				if reason == "" {
+					pass.Reportf(fd.Pos(), "//lint:hotpath requires a written reason naming the discipline it opts into")
+				}
+				fn, isFn := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !isFn {
+					return
+				}
+				if node := g.Node(fn); node != nil {
+					roots = append(roots, node)
+				}
+			})
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	reach := g.ReachableFrom(roots, func(e *CGEdge) bool {
+		if inScope(e.Callee.Pkg.Path, obsPkgPath) || e.IfacePkg == obsPkgPath {
+			return false // probe dispatch: opt-in observability, not hot
+		}
+		return true
+	})
+
+	for _, node := range sortedNodes(g) {
+		if _, ok := reach[node]; !ok {
+			continue
+		}
+		if !inModule[node.Pkg] {
+			continue // reachable but outside the module under report
+		}
+		checkHotFunc(pass, node, reach)
+	}
+}
+
+// hotpathDirective returns the reason of a //lint:hotpath directive in the
+// function's doc comment, and whether one is present.
+func hotpathDirective(fd *ast.FuncDecl) (reason string, ok bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if rest, found := strings.CutPrefix(c.Text, hotpathPrefix); found {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// checkHotFunc scans one reachable function body for allocation sites.
+func checkHotFunc(pass *Pass, node *CGNode, reach map[*CGNode]*CGEdge) {
+	pkg, fd := node.Pkg, node.Decl
+	via := strings.Join(PathTo(reach, node), " -> ")
+	cold := coldRanges(pkg, fd.Body)
+	report := func(pos token.Pos, format string, args ...any) {
+		args = append(args, via)
+		pass.Reportf(pos, format+" in hot path (reachable via %s)", args...)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inColdRange(cold, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, pkg, n, report)
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocation")
+			return false // its body runs only where the value is called
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(cl.Pos(), "address-taken composite literal allocates")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocates")
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, pkg *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// Conversion to an interface type boxes its operand.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := pkg.Info.Types[call.Args[0]]; ok && atv.Type != nil && concrete(atv.Type) {
+				report(call.Pos(), "conversion to interface boxes its operand")
+			}
+		}
+		return
+	}
+	// Concrete arguments to interface-typed parameters box.
+	sig := callSignature(pkg, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // xs... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if atv, ok := pkg.Info.Types[arg]; ok && atv.Type != nil && concrete(atv.Type) {
+			report(arg.Pos(), "concrete value boxed into interface parameter")
+		}
+	}
+}
+
+// concrete reports whether a value of type t stored in an interface requires
+// boxing worth flagging: concrete non-pointer, non-nil types. Pointers and
+// other word-sized reference kinds still allocate an iface pair on the heap
+// only when escaping, but every probe/printf-style call site that matters
+// passes value types, so flag all concrete kinds uniformly.
+func concrete(t types.Type) bool {
+	if t == types.Typ[types.UntypedNil] {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(t)
+}
+
+// callSignature resolves the signature a call invokes, through objects or
+// func-typed values.
+func callSignature(pkg *Package, call *ast.CallExpr) *types.Signature {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// coldRanges collects source ranges exempt from the zero-alloc discipline:
+// panic arguments (aborting) and error construction (failure paths).
+func coldRanges(pkg *Package, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				out = append(out, [2]token.Pos{call.Pos(), call.End()})
+				return false
+			}
+		}
+		if fn, ok := calleeObject(pkg, call).(*types.Func); ok && fn.Pkg() != nil {
+			p, name := fn.Pkg().Path(), fn.Name()
+			if (p == "fmt" && name == "Errorf") || (p == "errors" && name == "New") {
+				out = append(out, [2]token.Pos{call.Pos(), call.End()})
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func inColdRange(ranges [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -60,6 +61,21 @@ func TestDetermLintObsWallClock(t *testing.T) {
 		[]*lint.Analyzer{lint.DetermLint})
 }
 
+func TestAllocLint(t *testing.T) {
+	runWantCase(t, "simdhtbench/internal/alloccase", "testdata/alloccase.go",
+		[]*lint.Analyzer{lint.AllocLint})
+}
+
+func TestProbLint(t *testing.T) {
+	runWantCase(t, "simdhtbench/internal/probcase", "testdata/probcase.go",
+		[]*lint.Analyzer{lint.ProbLint})
+}
+
+func TestParLint(t *testing.T) {
+	runWantCase(t, "simdhtbench/internal/parcase", "testdata/parcase.go",
+		[]*lint.Analyzer{lint.ParLint})
+}
+
 func TestVecLint(t *testing.T) {
 	runWantCase(t, "simdhtbench/internal/veccase", "testdata/veccase.go",
 		[]*lint.Analyzer{lint.VecLint})
@@ -111,6 +127,60 @@ func f() time.Time {
 	}
 	if diags[1].Analyzer != "determlint" || !strings.Contains(diags[1].Message, "time.Now") {
 		t.Errorf("second diagnostic = %s, want the unsuppressed time.Now finding", diags[1])
+	}
+}
+
+// TestMultiAnalyzerSuppression checks that one //lint:ignore line with a
+// comma-separated analyzer list silences findings from every listed analyzer
+// on the next line — and that the same code without the suppression yields
+// both findings, so the suppression is known to be load-bearing.
+func TestMultiAnalyzerSuppression(t *testing.T) {
+	loader, _ := sharedLoader(t)
+	const body = `package lintcase
+
+import (
+	"time"
+
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/mem"
+)
+
+const cost = 1.0
+
+func kernel(e *engine.Engine, a *mem.Arena) (uint64, time.Time) {
+	e.ChargeCycles(cost)
+	%s
+	return a.ReadUint(0, 64), time.Now()
+}
+`
+	run := func(path, suppression string) []lint.Diagnostic {
+		t.Helper()
+		fn := filepath.Join(t.TempDir(), "multi.go")
+		if err := os.WriteFile(fn, []byte(fmt.Sprintf(body, suppression)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mod, err := loader.LoadSynthetic(path, fn)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		return lint.Run(mod, []*lint.Analyzer{lint.ChargeLint, lint.DetermLint})
+	}
+
+	suppressed := run("simdhtbench/internal/kvs/multicase",
+		"//lint:ignore chargelint,determlint fixture: the raw read is charged out of band and the timestamp is display-only")
+	if len(suppressed) != 0 {
+		t.Errorf("suppressed run produced diagnostics:\n%s", renderAll(suppressed))
+	}
+
+	bare := run("simdhtbench/internal/kvs/multicase2", "")
+	if len(bare) != 2 {
+		t.Fatalf("unsuppressed run: got %d diagnostics, want 2 (chargelint + determlint):\n%s", len(bare), renderAll(bare))
+	}
+	if bare[0].Analyzer != "chargelint" || !strings.Contains(bare[0].Message, "raw arena access") {
+		t.Errorf("first diagnostic = %s, want the chargelint raw-access finding", bare[0])
+	}
+	if bare[1].Analyzer != "determlint" || !strings.Contains(bare[1].Message, "time.Now") {
+		t.Errorf("second diagnostic = %s, want the determlint time.Now finding", bare[1])
 	}
 }
 

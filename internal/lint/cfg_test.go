@@ -1,0 +1,547 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"simdhtbench/internal/lint"
+)
+
+// buildCFG wraps body in a function, parses it, and returns the checked CFG.
+func buildCFG(t *testing.T, body string) *lint.CFG {
+	t.Helper()
+	fn := parseFunc(t, body)
+	cfg := lint.BuildCFG(fn)
+	if err := cfg.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return cfg
+}
+
+func parseFunc(t *testing.T, body string) *ast.FuncDecl {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	t.Fatal("no function parsed")
+	return nil
+}
+
+// reachable returns the blocks reachable from Entry.
+func reachable(cfg *lint.CFG) map[*lint.Block]bool {
+	seen := map[*lint.Block]bool{cfg.Entry: true}
+	work := []*lint.Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// callBlock returns the block whose nodes contain a call to name.
+func callBlock(t *testing.T, cfg *lint.CFG, name string) *lint.Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains a call to %s", name)
+	return nil
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg := buildCFG(t, `
+if cond {
+	a()
+} else {
+	b()
+}
+c()
+`)
+	var tr, fa *lint.Edge
+	for _, b := range cfg.Blocks {
+		for _, e := range b.Succs {
+			switch e.Kind {
+			case lint.EdgeTrue:
+				tr = e
+			case lint.EdgeFalse:
+				fa = e
+			}
+		}
+	}
+	if tr == nil || fa == nil {
+		t.Fatal("if/else must produce one true and one false edge")
+	}
+	for _, e := range []*lint.Edge{tr, fa} {
+		if id, ok := e.Cond.(*ast.Ident); !ok || id.Name != "cond" {
+			t.Errorf("%s edge condition = %v, want ident cond", e.Kind, e.Cond)
+		}
+	}
+	if tr.To != callBlock(t, cfg, "a") {
+		t.Error("true edge must lead to the then-branch block")
+	}
+	if fa.To != callBlock(t, cfg, "b") {
+		t.Error("false edge must lead to the else-branch block")
+	}
+	r := reachable(cfg)
+	for _, name := range []string{"a", "b", "c"} {
+		if !r[callBlock(t, cfg, name)] {
+			t.Errorf("%s() must be reachable", name)
+		}
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	cfg := buildCFG(t, `
+for i := 0; i < n; i++ {
+	a()
+}
+b()
+`)
+	body := callBlock(t, cfg, "a")
+	// The body must cycle back to the condition head (through the post
+	// block) — i.e. the body is its own ancestor.
+	if !reachesBlock(body, body, nil) {
+		t.Error("loop body must be part of a cycle")
+	}
+	r := reachable(cfg)
+	if !r[callBlock(t, cfg, "b")] {
+		t.Error("the statement after a conditional loop must be reachable")
+	}
+}
+
+// reachesBlock reports whether dst is reachable from some successor of src.
+func reachesBlock(src, dst *lint.Block, seen map[*lint.Block]bool) bool {
+	if seen == nil {
+		seen = make(map[*lint.Block]bool)
+	}
+	for _, e := range src.Succs {
+		if e.To == dst {
+			return true
+		}
+		if !seen[e.To] {
+			seen[e.To] = true
+			if reachesBlock(e.To, dst, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	cfg := buildCFG(t, `
+for {
+	a()
+}
+b()
+`)
+	r := reachable(cfg)
+	if r[callBlock(t, cfg, "b")] {
+		t.Error("code after a break-less for{} must be unreachable")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	cfg := buildCFG(t, `
+for _, v := range xs {
+	a(v)
+}
+b()
+`)
+	var head *lint.Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("the RangeStmt node must live in the loop-head block")
+	}
+	kinds := map[lint.EdgeKind]bool{}
+	for _, e := range head.Succs {
+		kinds[e.Kind] = true
+	}
+	if !kinds[lint.EdgeTrue] || !kinds[lint.EdgeFalse] {
+		t.Errorf("range head needs iterate/exhausted edges, got %v", head.Succs)
+	}
+	if !reachesBlock(callBlock(t, cfg, "a"), head, nil) {
+		t.Error("range body must loop back to the head")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildCFG(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+d()
+`)
+	aBlk, bBlk := callBlock(t, cfg, "a"), callBlock(t, cfg, "b")
+	direct := false
+	for _, e := range aBlk.Succs {
+		if e.To == bBlk {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough must chain the clause end into the next clause body")
+	}
+	r := reachable(cfg)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if !r[callBlock(t, cfg, name)] {
+			t.Errorf("%s() must be reachable", name)
+		}
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildCFG(t, `
+select {
+case v := <-ch:
+	a(v)
+default:
+	b()
+}
+c()
+`)
+	r := reachable(cfg)
+	for _, name := range []string{"a", "b", "c"} {
+		if !r[callBlock(t, cfg, name)] {
+			t.Errorf("%s() must be reachable", name)
+		}
+	}
+}
+
+func TestCFGTerminators(t *testing.T) {
+	for _, tc := range []struct{ name, body string }{
+		{"return", "if cond {\n\treturn\n}\na()\nreturn\nb()"},
+		{"panic", "a()\npanic(\"boom\")\nb()"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := buildCFG(t, tc.body)
+			r := reachable(cfg)
+			if !r[callBlock(t, cfg, "a")] {
+				t.Error("a() must be reachable")
+			}
+			dead := callBlock(t, cfg, "b")
+			if r[dead] {
+				t.Error("code after the terminator must be unreachable from entry")
+			}
+			if len(dead.Preds) != 0 {
+				t.Error("dead code must start a predecessor-less block")
+			}
+			if !r[cfg.Exit] {
+				t.Error("exit must be reachable")
+			}
+		})
+	}
+}
+
+func TestCFGLabeledBreakAndGoto(t *testing.T) {
+	cfg := buildCFG(t, `
+outer:
+	for {
+		for {
+			if cond {
+				break outer
+			}
+			a()
+		}
+	}
+	b()
+	goto done
+	c()
+done:
+	d()
+`)
+	r := reachable(cfg)
+	for _, name := range []string{"a", "b", "d"} {
+		if !r[callBlock(t, cfg, name)] {
+			t.Errorf("%s() must be reachable", name)
+		}
+	}
+	if r[callBlock(t, cfg, "c")] {
+		t.Error("c() sits between goto and its label: unreachable")
+	}
+}
+
+// condProblem is a one-fact test problem: the fact is gained on the true
+// edge of a branch on the ident `cond` and killed by any block containing a
+// call to kill — a miniature of problint's guard facts.
+type condProblem struct{}
+
+func (condProblem) NumFacts() int      { return 1 }
+func (condProblem) Entry() lint.BitSet { return lint.NewBitSet(1) }
+
+func (condProblem) Transfer(b *lint.Block, in lint.BitSet) lint.BitSet {
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "kill" {
+					in.Remove(0)
+				}
+			}
+			return true
+		})
+	}
+	return in
+}
+
+func (condProblem) EdgeOut(e *lint.Edge, out lint.BitSet) lint.BitSet {
+	if e.Kind != lint.EdgeTrue {
+		return out
+	}
+	if id, ok := e.Cond.(*ast.Ident); !ok || id.Name != "cond" {
+		return out
+	}
+	r := out.Clone()
+	r.Add(0)
+	return r
+}
+
+func TestSolveForwardMustVsMay(t *testing.T) {
+	cfg := buildCFG(t, `
+if cond {
+	a()
+} else {
+	b()
+}
+c()
+`)
+	must := lint.SolveForward(cfg, condProblem{}, lint.MeetIntersect)
+	may := lint.SolveForward(cfg, condProblem{}, lint.MeetUnion)
+
+	aBlk, bBlk, cBlk := callBlock(t, cfg, "a"), callBlock(t, cfg, "b"), callBlock(t, cfg, "c")
+	if !must[aBlk.Index].Has(0) {
+		t.Error("must: the fact holds on the true branch")
+	}
+	if must[bBlk.Index].Has(0) {
+		t.Error("must: the fact cannot hold on the false branch")
+	}
+	if must[cBlk.Index].Has(0) {
+		t.Error("must: the join of guarded and unguarded paths drops the fact")
+	}
+	if !may[cBlk.Index].Has(0) {
+		t.Error("may: the union join keeps the fact at the merge")
+	}
+}
+
+func TestSolveForwardLoopKill(t *testing.T) {
+	cfg := buildCFG(t, `
+if cond {
+	for i := 0; i < n; i++ {
+		kill()
+	}
+	c()
+}
+`)
+	ins := lint.SolveForward(cfg, condProblem{}, lint.MeetIntersect)
+	killBlk, cBlk := callBlock(t, cfg, "kill"), callBlock(t, cfg, "c")
+	if ins[cBlk.Index].Has(0) {
+		t.Error("the loop's kill must flow around the back edge and reach the loop exit")
+	}
+	if ins[killBlk.Index].Has(0) {
+		t.Error("the back edge's meet must drop the fact inside the loop body")
+	}
+
+	// Same shape without the kill: the fact survives the loop's meet and
+	// still holds at the exit.
+	cfg = buildCFG(t, `
+if cond {
+	for i := 0; i < n; i++ {
+		a()
+	}
+	c()
+}
+`)
+	ins = lint.SolveForward(cfg, condProblem{}, lint.MeetIntersect)
+	if !ins[callBlock(t, cfg, "a").Index].Has(0) {
+		t.Error("a kill-free loop body must keep the dominating guard fact")
+	}
+	if !ins[callBlock(t, cfg, "c").Index].Has(0) {
+		t.Error("a kill-free loop must not launder away the dominating guard fact")
+	}
+}
+
+// FuzzCFGBuild builds CFGs for every function in arbitrary parseable Go
+// sources, checks the structural invariants, and runs a one-fact forward
+// solve — fixpoint termination and index consistency must hold for any
+// input the parser accepts. Tricky seeds (labeled jumps, fallthrough
+// chains, dead code, empty select) live in testdata/fuzz/FuzzCFGBuild.
+func FuzzCFGBuild(f *testing.F) {
+	f.Add("package p\nfunc f() { if a { b() } }")
+	f.Add("package p\nfunc f() { for { select {} }; x() }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					fuzzCheckCFG(t, fset, fn)
+				}
+			case *ast.FuncLit:
+				fuzzCheckCFG(t, fset, fn)
+			}
+			return true
+		})
+	})
+}
+
+func fuzzCheckCFG(t *testing.T, fset *token.FileSet, fn ast.Node) {
+	t.Helper()
+	cfg := lint.BuildCFG(fn)
+	if err := cfg.CheckInvariants(); err != nil {
+		t.Fatalf("%s: invariants: %v", fset.Position(fn.Pos()), err)
+	}
+	ins := lint.SolveForward(cfg, condProblem{}, lint.MeetIntersect)
+	if len(ins) != len(cfg.Blocks) {
+		t.Fatalf("%s: solver returned %d in-sets for %d blocks",
+			fset.Position(fn.Pos()), len(ins), len(cfg.Blocks))
+	}
+	// Every statement of the body must appear in some block (the builder
+	// may add scaffolding expressions, but loses no statements).
+	blocks := map[ast.Node]bool{}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			blocks[n] = true
+		}
+	}
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	for _, s := range body.List {
+		if !stmtRepresented(s, blocks) {
+			t.Fatalf("%s: statement %T at %s missing from every block",
+				fset.Position(fn.Pos()), s, fset.Position(s.Pos()))
+		}
+	}
+}
+
+// stmtRepresented reports whether s, or (for structured/label/branch
+// statements, which contribute scaffolding rather than themselves) any of
+// its pieces, landed in a block.
+func stmtRepresented(s ast.Stmt, blocks map[ast.Node]bool) bool {
+	if blocks[s] {
+		return true
+	}
+	switch s.(type) {
+	case *ast.BlockStmt, *ast.BranchStmt, *ast.IfStmt, *ast.ForStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+		// Control scaffolding: conditions/bodies are distributed across
+		// blocks; the statement node itself need not appear.
+		return true
+	}
+	// Expressions may be recorded instead of the statement (e.g. an if
+	// condition); accept any node inside s.
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if n != nil && blocks[n] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// TestFuzzSeedsParse pins the checked-in fuzz corpus: every seed must stay
+// a parseable tricky-Go source, so the fuzz run always starts from the
+// interesting shapes rather than parser rejects.
+func TestFuzzSeedsParse(t *testing.T) {
+	seeds := fuzzSeedSources(t)
+	if len(seeds) < 5 {
+		t.Fatalf("expected at least 5 checked-in seeds, found %d", len(seeds))
+	}
+	for name, src := range seeds {
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution); err != nil {
+			t.Errorf("seed %s no longer parses: %v", name, err)
+		}
+	}
+}
+
+// fuzzSeedSources decodes the `go test fuzz v1` seed files under
+// testdata/fuzz/FuzzCFGBuild into their source strings.
+func fuzzSeedSources(t *testing.T) map[string]string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz", "FuzzCFGBuild", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, fn := range files {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := decodeFuzzSeed(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		out[filepath.Base(fn)] = src
+	}
+	return out
+}
+
+func decodeFuzzSeed(data string) (string, error) {
+	header, rest, ok := strings.Cut(data, "\n")
+	if !ok || strings.TrimSpace(header) != "go test fuzz v1" {
+		return "", fmt.Errorf("missing `go test fuzz v1` header")
+	}
+	body := strings.TrimSpace(rest)
+	body = strings.TrimPrefix(body, "string(")
+	body = strings.TrimSuffix(body, ")")
+	return strconv.Unquote(body)
+}

@@ -1,0 +1,166 @@
+package lint
+
+// A small forward-dataflow fixpoint framework over the CFGs of cfg.go.
+// Facts are bit positions in a per-problem universe; a Problem supplies the
+// per-block transfer function (gen/kill) and an optional per-edge refinement
+// (to gain facts along the true/false arm of a branch — how problint learns
+// `p != nil` held). Two meets are supported: union for may-analyses and
+// intersection for must-analyses (problint's "nil-guard dominates the deref"
+// is a must-problem: a fact survives a join only if every predecessor path
+// established it).
+
+// BitSet is a fixed-universe bit vector.
+type BitSet []uint64
+
+// NewBitSet returns an empty set over a universe of n facts.
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// NewFullBitSet returns the set containing all n facts (the must-analysis
+// top element).
+func NewFullBitSet(n int) BitSet {
+	s := NewBitSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}
+
+// Has reports whether fact i is in the set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// Add inserts fact i.
+func (s BitSet) Add(i int) { s[i/64] |= 1 << (i % 64) }
+
+// Remove deletes fact i.
+func (s BitSet) Remove(i int) { s[i/64] &^= 1 << (i % 64) }
+
+// Clone returns an independent copy.
+func (s BitSet) Clone() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// UnionWith adds every fact of t, reporting whether s changed.
+func (s BitSet) UnionWith(t BitSet) bool {
+	changed := false
+	for i := range s {
+		if old := s[i]; old|t[i] != old {
+			s[i] |= t[i]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith drops facts not in t, reporting whether s changed.
+func (s BitSet) IntersectWith(t BitSet) bool {
+	changed := false
+	for i := range s {
+		if old := s[i]; old&t[i] != old {
+			s[i] &= t[i]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports set equality.
+func (s BitSet) Equal(t BitSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MeetKind selects the confluence operator.
+type MeetKind uint8
+
+const (
+	// MeetUnion: a fact holds if any predecessor establishes it (may).
+	MeetUnion MeetKind = iota
+	// MeetIntersect: a fact holds only if every predecessor establishes it
+	// (must).
+	MeetIntersect
+)
+
+// Problem is one forward dataflow problem. Transfer must not retain or
+// mutate in beyond the call; it returns the out-set (which may be in itself
+// if unchanged). EdgeOut refines a predecessor's out-set along a specific
+// edge — implementations that don't care return out unchanged.
+type Problem interface {
+	// NumFacts is the universe size.
+	NumFacts() int
+	// Entry is the fact set on function entry.
+	Entry() BitSet
+	// Transfer applies the block's gen/kill to in, returning out.
+	Transfer(b *Block, in BitSet) BitSet
+	// EdgeOut refines out along edge e (e.g. gen facts implied by a branch
+	// condition). It may return out unchanged; it must not mutate it.
+	EdgeOut(e *Edge, out BitSet) BitSet
+}
+
+// SolveForward runs the problem to fixpoint and returns the IN set of every
+// block (indexed like cfg.Blocks). The returned sets are owned by the caller.
+//
+// Unreachable blocks (no predecessors, not Entry) keep the initial lattice
+// value: empty for union, full for intersection — the standard "vacuously
+// everything holds on no path" answer, which keeps dead code from raising
+// guard findings.
+func SolveForward(cfg *CFG, p Problem, meet MeetKind) []BitSet {
+	n := p.NumFacts()
+	ins := make([]BitSet, len(cfg.Blocks))
+	outs := make([]BitSet, len(cfg.Blocks))
+	for i := range ins {
+		if meet == MeetIntersect {
+			ins[i] = NewFullBitSet(n)
+		} else {
+			ins[i] = NewBitSet(n)
+		}
+	}
+	ins[cfg.Entry.Index] = p.Entry().Clone()
+
+	// Worklist seeded with every block in index order; index order is close
+	// to reverse post-order for the builder's output, so convergence is
+	// fast on structured code.
+	inList := make([]bool, len(cfg.Blocks))
+	var work []*Block
+	push := func(b *Block) {
+		if !inList[b.Index] {
+			inList[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for _, b := range cfg.Blocks {
+		push(b)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inList[b.Index] = false
+
+		out := p.Transfer(b, ins[b.Index].Clone())
+		if outs[b.Index] != nil && out.Equal(outs[b.Index]) {
+			continue
+		}
+		outs[b.Index] = out
+		for _, e := range b.Succs {
+			refined := p.EdgeOut(e, out)
+			tin := ins[e.To.Index]
+			var changed bool
+			if meet == MeetIntersect {
+				changed = tin.IntersectWith(refined)
+			} else {
+				changed = tin.UnionWith(refined)
+			}
+			if changed {
+				push(e.To)
+			}
+		}
+	}
+	return ins
+}

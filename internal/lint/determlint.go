@@ -34,7 +34,9 @@ var DetermLint = &Analyzer{
 var determScope = []string{
 	"simdhtbench/internal/experiments",
 	"simdhtbench/internal/fault",
+	"simdhtbench/internal/kvs",
 	"simdhtbench/internal/memslap",
+	"simdhtbench/internal/netsim",
 	"simdhtbench/internal/sweep",
 	"simdhtbench/internal/report",
 	"simdhtbench/internal/obs",

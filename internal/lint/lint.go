@@ -22,9 +22,11 @@
 // A diagnostic can be suppressed with a comment on its line or the line
 // directly above:
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // The reason is mandatory: a suppression without one is itself reported.
+// One line can name several comma-separated analyzers when a single site
+// legitimately trips more than one check.
 package lint
 
 import (
@@ -82,9 +84,11 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns the full analyzer suite in deterministic order.
+// All returns the full analyzer suite in deterministic order. Together with
+// the framework's built-in suppression-hygiene check (reported under the
+// analyzer name "lint"), this is the seven-check suite CI runs.
 func All() []*Analyzer {
-	return []*Analyzer{ChargeLint, DetermLint, VecLint}
+	return []*Analyzer{AllocLint, ChargeLint, DetermLint, ParLint, ProbLint, VecLint}
 }
 
 // Run executes the analyzers over the module's packages, applies
@@ -167,7 +171,13 @@ func collectSuppressions(m *Module) (map[string][]suppression, []Diagnostic) {
 						})
 						continue
 					}
-					supps[pos.Filename] = append(supps[pos.Filename], suppression{line: pos.Line, analyzer: fields[0]})
+					// One directive can suppress several analyzers at one
+					// site: //lint:ignore alloclint,chargelint reason.
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							supps[pos.Filename] = append(supps[pos.Filename], suppression{line: pos.Line, analyzer: name})
+						}
+					}
 				}
 			}
 		}

@@ -34,6 +34,7 @@ type Module struct {
 	Pkgs []*Package
 
 	loader *Loader
+	cg     *CallGraph // memoized by Module.CallGraph
 }
 
 // Universe returns every package the underlying loader has type-checked,

@@ -7,9 +7,12 @@ import (
 )
 
 // TestRealModuleClean is the regression gate: the committed tree must lint
-// clean — every finding either fixed or carrying a reasoned //lint:ignore.
-// A new raw arena access in a charged kernel, a wall-clock read in an
-// experiment, or a lane-width mix-up fails this test (and `make check`).
+// clean under all seven checks (alloclint, chargelint, determlint, parlint,
+// problint, veclint, suppression hygiene) — every finding either fixed or
+// carrying a reasoned //lint:ignore. A new allocation in a hot path, a raw
+// arena access reachable from a charged kernel, a wall-clock read in an
+// experiment, an unguarded probe deref, a shared write in a sweep worker,
+// or a lane-width mix-up fails this test (and `make check`).
 func TestRealModuleClean(t *testing.T) {
 	loader, root := sharedLoader(t)
 	mod, err := loader.LoadModule()

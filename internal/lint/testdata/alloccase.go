@@ -1,0 +1,69 @@
+// Package alloccase is an alloclint test fixture, loaded under the neutral
+// synthetic import path simdhtbench/internal/alloccase. It declares its own
+// //lint:hotpath roots; each "want" comment states the diagnostic the
+// harness expects on that line.
+package alloccase
+
+import (
+	"errors"
+	"fmt"
+)
+
+// filter exercises CHA: hot calls through the interface, so every
+// implementation's method body joins the hot set.
+type filter interface {
+	apply(int) int
+}
+
+type doubler struct{ scratch []int }
+
+func (d *doubler) apply(x int) int {
+	d.scratch = append(d.scratch, x) // want `append may grow its backing array in hot path \(reachable via hot -> apply\)`
+	return 2 * x
+}
+
+type pair struct{ a, b int }
+
+func sink(x any)        { _ = x }
+func sinkAll(xs ...any) { _ = xs }
+
+//lint:hotpath fixture batch kernel; must stay allocation-free at steady state
+func hot(f filter, n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative batch") // legal: error construction is a cold path
+	}
+	if n > 1<<20 {
+		return 0, fmt.Errorf("batch %d too large", n) // legal: error construction is a cold path
+	}
+	buf := make([]int, n)         // want `make allocates in hot path \(reachable via hot\)`
+	buf = append(buf, 1)          // want `append may grow its backing array in hot path \(reachable via hot\)`
+	m := map[int]int{n: 1}        // want `map literal allocates in hot path \(reachable via hot\)`
+	s := []int{1, 2, 3}           // want `slice literal allocates in hot path \(reachable via hot\)`
+	p := &pair{a: 1, b: 2}        // want `address-taken composite literal allocates in hot path \(reachable via hot\)`
+	q := pair{a: 3, b: 4}         // legal: value composite stays on the stack
+	fn := func() int { return n } // want `closure allocation in hot path \(reachable via hot\)`
+	sink(n)                       // want `concrete value boxed into interface parameter in hot path \(reachable via hot\)`
+	sinkAll(n, q.a)               // want `concrete value boxed into interface parameter in hot path \(reachable via hot\)` `concrete value boxed into interface parameter in hot path \(reachable via hot\)`
+	_ = any(p.a)                  // want `conversion to interface boxes its operand in hot path \(reachable via hot\)`
+	//lint:ignore alloclint fixture: demonstrates a reasoned suppression surviving the scan
+	suppressed := make([]int, n)
+	v := helper(n) // legal here: the finding lands inside helper
+	if v < 0 {
+		panic(fmt.Sprintf("bad %d", v)) // legal: panic paths abort the run
+	}
+	return f.apply(v) + buf[0] + m[n] + s[0] + p.a + q.b + fn() + len(suppressed), nil
+}
+
+func helper(n int) int {
+	x := new(int) // want `new allocates in hot path \(reachable via hot -> helper\)`
+	*x = n
+	return *x
+}
+
+//lint:hotpath
+func badDirective() {} // want `//lint:hotpath requires a written reason`
+
+// coldPath is reachable from no hot root: it may allocate freely.
+func coldPath(n int) []int {
+	return make([]int, n)
+}

@@ -21,17 +21,31 @@ func addrOnly(a *mem.Arena, off int) uint64 {
 	return a.Addr(off)
 }
 
-// wrapper is not an accessor — the fact is one level deep by design, so
-// functional paths can be wrapped by kernels that charge the equivalent
-// work explicitly.
+// wrapper reaches raw access one call deep; deepWrapper reaches it two
+// deep. The v2 interprocedural walk surfaces both at a charged kernel's
+// call site, with the path.
 func wrapper(a *mem.Arena, off int) uint64 {
 	return rawKeyAt(a, off)
+}
+
+func deepWrapper(a *mem.Arena, off int) uint64 {
+	return wrapper(a, off)
+}
+
+// chargedHelper has its own engine: it is a billing boundary, so calling it
+// is legal — its own body is checked instead (and its raw access is
+// reported at its own site).
+func chargedHelper(e *engine.Engine, a *mem.Arena, off int) uint64 {
+	e.ChargeCycles(namedCost)
+	return a.ReadUint(off, 64) // want `raw arena access Arena\.ReadUint in charged kernel chargedHelper`
 }
 
 func chargedKernel(e *engine.Engine, a *mem.Arena) uint64 {
 	v := a.ReadUint(0, 64)         // want `raw arena access Arena\.ReadUint in charged kernel chargedKernel`
 	v += rawKeyAt(a, 8)            // want `call to uncharged accessor rawKeyAt in charged kernel chargedKernel`
-	v += wrapper(a, 16)            // legal: wrapper is not itself an accessor
+	v += wrapper(a, 16)            // want `call to wrapper in charged kernel chargedKernel reaches raw arena access without charging \(wrapper -> rawKeyAt -> Arena\.ReadUint\)`
+	v += deepWrapper(a, 16)        // want `call to deepWrapper in charged kernel chargedKernel reaches raw arena access without charging \(deepWrapper -> wrapper -> rawKeyAt -> Arena\.ReadUint\)`
+	v += chargedHelper(e, a, 24)   // legal: charged callee is the billing boundary
 	_ = addrOnly(a, 24)            // legal: address arithmetic
 	e.ChargeCycles(3)              // want `ChargeCycles with magic literal 3`
 	e.ChargeCycles(float64(2 * 8)) // want `ChargeCycles with magic literal 2`

@@ -1,0 +1,117 @@
+// Package probcase is a problint test fixture, loaded under the synthetic
+// import path simdhtbench/internal/probcase. It exercises the must-analysis
+// over probe nil guards and armed-plan gating of FaultProbe registration;
+// each "want" comment states the diagnostic the harness expects on that
+// line.
+package probcase
+
+import (
+	"simdhtbench/internal/fault"
+	"simdhtbench/internal/obs"
+)
+
+type host struct {
+	Sim obs.SimProbe
+	Net obs.NetProbe
+}
+
+func guarded(h *host, at float64) {
+	if h.Sim != nil {
+		h.Sim.EventRun(at)
+	}
+}
+
+func unguarded(h *host, at float64) {
+	h.Sim.EventRun(at) // want `probe call h\.Sim\.EventRun without a dominating nil guard on h\.Sim`
+}
+
+func invertedGuard(p obs.SimProbe, at float64) {
+	if p == nil {
+		return
+	}
+	p.EventRun(at)
+}
+
+func orGuard(p obs.SimProbe, n int, at float64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.EventRun(at)
+}
+
+func compoundGuard(h *host, at float64) {
+	if h.Sim != nil && h.Net != nil {
+		h.Sim.EventRun(at)
+		h.Net.MessageSent("a", "b", 1, 1, at, at)
+	}
+	// A disjunctive guard proves neither operand non-nil on its true branch.
+	if h.Sim != nil || h.Net != nil {
+		h.Sim.EventRun(at) // want `probe call h\.Sim\.EventRun without a dominating nil guard on h\.Sim`
+	}
+}
+
+func shortCircuitDeref(p obs.SimProbe, at float64) {
+	// The guard and the deref share one statement: scan must honor the
+	// short-circuit fact on the right operand.
+	if p != nil && at > 0 {
+		p.EventRun(at)
+	}
+}
+
+func killedGuard(p, q obs.SimProbe, at float64) {
+	if p != nil {
+		p = q
+		p.EventRun(at) // want `probe call p\.EventRun without a dominating nil guard on p`
+	}
+}
+
+func loopKill(h *host, ps []obs.SimProbe, at float64) {
+	if h.Sim != nil {
+		for _, p := range ps {
+			if p != nil {
+				p.EventRun(at)
+			}
+			h.Sim = p
+		}
+		// The loop body may have replaced the guarded value: the fact does
+		// not survive the back edge's meet.
+		h.Sim.EventRun(at) // want `probe call h\.Sim\.EventRun without a dominating nil guard on h\.Sim`
+	}
+}
+
+func closureInherits(p obs.SimProbe, at float64) func() {
+	if p == nil {
+		return func() {}
+	}
+	return func() { p.EventRun(at) } // legal: the guard dominates the literal's creation
+}
+
+func closureUnguarded(p obs.SimProbe, at float64) func() {
+	return func() { p.EventRun(at) } // want `probe call p\.EventRun without a dominating nil guard on p`
+}
+
+func closureKills(h *host, q obs.SimProbe, at float64) {
+	if h.Sim != nil {
+		reset := func() { h.Sim = q }
+		reset()
+		h.Sim.EventRun(at) // want `probe call h\.Sim\.EventRun without a dominating nil guard on h\.Sim`
+	}
+}
+
+func registerUngated(col *obs.Collector) obs.FaultProbe {
+	return col.FaultProbe() // want `FaultProbe registration not dominated by an armed fault plan`
+}
+
+func registerPlanGated(col *obs.Collector, plan *fault.Plan) obs.FaultProbe {
+	if plan == nil {
+		return nil
+	}
+	return col.FaultProbe()
+}
+
+func registerSpecGated(col *obs.Collector, spec fault.Spec) obs.FaultProbe {
+	if spec.Enabled() {
+		return col.FaultProbe()
+	}
+	return nil
+}

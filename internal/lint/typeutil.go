@@ -9,6 +9,7 @@ import (
 // Import paths of the simulation layers the analyzers know about.
 const (
 	enginePkgPath = "simdhtbench/internal/engine"
+	faultPkgPath  = "simdhtbench/internal/fault"
 	memPkgPath    = "simdhtbench/internal/mem"
 	vecPkgPath    = "simdhtbench/internal/vec"
 )

@@ -138,6 +138,8 @@ func (e *Endpoint) Name() string { return e.name }
 // Send transfers a message of the given payload size to dst, invoking
 // deliver at the destination when it arrives. Sends from one endpoint
 // serialize through its NIC.
+//
+//lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (e *Endpoint) Send(dst *Endpoint, bytes int, deliver func()) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("netsim: negative message size %d", bytes))
