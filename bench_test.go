@@ -15,7 +15,12 @@ import (
 
 	"simdhtbench/internal/arch"
 	"simdhtbench/internal/core"
+	"simdhtbench/internal/cuckoo"
+	"simdhtbench/internal/engine"
 	"simdhtbench/internal/experiments"
+	"simdhtbench/internal/mem"
+	"simdhtbench/internal/obs"
+	"simdhtbench/internal/obs/prof"
 	"simdhtbench/internal/workload"
 )
 
@@ -294,6 +299,80 @@ func BenchmarkFleetStudyPoint(b *testing.B) {
 		}
 		b.ReportMetric(res.GoodputKeys/1e6, "goodput-Mkeys/s")
 		b.ReportMetric(res.P99Latency*1e6, "p99-us")
+	}
+}
+
+// BenchmarkProfilerOverhead pins the hot-path cost of the cycle-account
+// profiler in isolation: the same charged vertical-lookup workload runs on
+// a bare engine and on one with a profiler attached (no trace probes — those
+// have their own, larger, opt-in cost), and the profiled engine's simulator
+// throughput must stay within 10% of the bare engine's. The two sides run
+// interleaved, best-of-N per side, so host-clock noise shifts both equally
+// instead of skewing the ratio; the first profiled pass also resolves the
+// (phase, leaf) handle caches, after which the steady state is
+// allocation-free (pinned by TestProfilerSteadyStateAllocFree).
+func BenchmarkProfilerOverhead(b *testing.B) {
+	model := arch.SkylakeClusterA()
+	layout, err := cuckoo.LayoutForBytes(3, 1, 32, 32, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := mem.NewAddressSpace()
+	table, err := cuckoo.New(space, layout, benchOpts.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stored, _ := table.FillRandom(0.9, newRand(benchOpts.Seed+1))
+	gen, err := workload.New(stored, workload.Config{
+		Pattern: workload.Uniform, HitRate: 0.9, KeyBits: 32, Seed: benchOpts.Seed + 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.Keys(gen, 4*benchOpts.Queries)
+	stream := cuckoo.NewStream(space, queries, 32)
+	res := cuckoo.NewResultBuf(space, len(queries), 32)
+	cfg := cuckoo.VerticalConfig{Width: 512}
+
+	// newEngine warms a fresh engine like measure() does: caches loaded,
+	// one uncharged pass to grow scratch (and, when profiled, a charged
+	// pass below resolves the handle caches before the timed reps).
+	newEngine := func(p *prof.Profiler) *engine.Engine {
+		e := engine.New(model, 1)
+		e.SetCharging(false)
+		e.Cache.Touch(table.Arena.Base(), table.Arena.Size())
+		table.LookupVerticalBatch(e, stream, 0, len(queries), cfg, res, nil)
+		e.SetCharging(true)
+		e.SetProfiler(p)
+		table.LookupVerticalBatch(e, stream, 0, len(queries), cfg, res, nil)
+		return e
+	}
+	pass := func(e *engine.Engine) float64 {
+		start := obs.WallNow()
+		table.LookupVerticalBatch(e, stream, 0, len(queries), cfg, res, nil)
+		secs := obs.WallSince(start).Seconds()
+		if secs <= 0 {
+			return 0
+		}
+		return float64(len(queries)) / secs
+	}
+	for i := 0; i < b.N; i++ {
+		bareEng := newEngine(nil)
+		profEng := newEngine(prof.NewSet().Profiler("cycles", "bench"))
+		var bare, profiled float64
+		for rep := 0; rep < 6; rep++ {
+			bare = max(bare, pass(bareEng))
+			profiled = max(profiled, pass(profEng))
+		}
+		if bare <= 0 || profiled <= 0 {
+			b.Fatal("no throughput measured")
+		}
+		overhead := 1 - profiled/bare
+		b.ReportMetric(overhead*100, "overhead-pct")
+		b.ReportMetric(profiled/1e6, "sim-Mlookups/s")
+		if overhead > 0.10 {
+			b.Fatalf("profiler overhead %.1f%% exceeds the 10%% budget", overhead*100)
+		}
 	}
 }
 

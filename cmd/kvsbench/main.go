@@ -26,12 +26,17 @@
 // Observability: -trace out.json writes a Chrome trace_event file (virtual
 // time: the discrete-event simulation clock, in microseconds) and -metrics
 // out.csv writes the metrics registry; both are byte-identical across runs
-// at any -parallel setting.
+// at any -parallel setting. -profile cycles emits the deterministic time
+// account (unit: virtual µs, including net hops and server queueing) —
+// folded flamegraph stacks on stdout, breakdown and report tables on
+// stderr. -manifest run.json writes a run manifest for cmd/obsdiff to
+// compare. -heartbeat N prints stderr liveness every N simulation events.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -41,6 +46,7 @@ import (
 	"simdhtbench/internal/experiments"
 	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
+	"simdhtbench/internal/obs/prof"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 )
@@ -61,6 +67,9 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (virtual time = DES clock)")
 		metricsOut = flag.String("metrics", "", "write the metrics registry as CSV")
+		profile    = flag.String("profile", "", "emit the deterministic time account: 'cycles' writes folded flamegraph stacks (unit: virtual microseconds) to stdout and the breakdown table to stderr; report tables move to stderr")
+		manifestP  = flag.String("manifest", "", "write a structured run manifest (JSON: config, seeds, artifact digests, metric snapshot, time account) to this file")
+		heartbeat  = flag.Int("heartbeat", 0, "print a stderr progress line every N dispatched simulation events (0 = off; wall-derived, never in deterministic output)")
 
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. 'drop=0.1,crash=20us:10us,timeout=10us,retries=3,backoff=5us' (empty = no faults)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed); all fault timing is virtual, so output stays deterministic")
@@ -75,8 +84,17 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	wallStart := obs.WallNow()
+	if *profile != "" && *profile != "cycles" {
+		fatal(fmt.Errorf("unknown -profile kind %q (want cycles)", *profile))
+	}
+	if *profile != "" {
+		// The folded account stacks own stdout in profile mode, so the
+		// report tables move to stderr.
+		tablesTo = os.Stderr
+	}
 
-	// Profiling output is wall-clock-shaped by nature and goes to its own
+	// pprof output is wall-clock-shaped by nature and goes to its own
 	// files, never into tables, -trace or -metrics, so the deterministic
 	// artifacts stay byte-identical whether or not profiling is enabled.
 	if *cpuProfile != "" {
@@ -102,10 +120,14 @@ func main() {
 	if *sstats {
 		opts.OnSweep = printSweepStats
 	}
+	opts.Heartbeat = obs.NewHeartbeat(*heartbeat, os.Stderr)
 	var col *obs.Collector
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *profile != "" || *manifestP != "" {
 		col = obs.NewCollector()
 		opts.Obs = col
+	}
+	if *profile != "" || *manifestP != "" {
+		col.EnableProfiling(prof.NewSet())
 	}
 
 	args := flag.Args()
@@ -161,14 +183,30 @@ func main() {
 		case "single":
 			res, err := experiments.RunKVS(*backend, *batch, opts)
 			check(err)
-			fmt.Println(res)
-			fmt.Printf("  phases per batch: pre=%.2fus lookup=%.2fus post=%.2fus (util %.2f)\n",
+			fmt.Fprintln(tablesTo, res)
+			fmt.Fprintf(tablesTo, "  phases per batch: pre=%.2fus lookup=%.2fus post=%.2fus (util %.2f)\n",
 				res.Breakdown.Pre*1e6, res.Breakdown.Lookup*1e6, res.Breakdown.Post*1e6, res.WorkerUtil)
 		default:
 			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, fleet, fault-sweep, single, all)", cmd))
 		}
 	}
-	check(writeObsArtifacts(col, *traceOut, *metricsOut))
+	digests, err := obs.WriteArtifacts(col, *traceOut, *metricsOut)
+	check(err)
+	if *profile != "" {
+		set := col.ProfilerSet()
+		check(set.WriteTable(os.Stderr))
+		check(set.WriteFolded(os.Stdout))
+	}
+	if *manifestP != "" {
+		seeds := map[string]string{"seed": fmt.Sprint(*seed)}
+		if *faultSeed != 0 {
+			seeds["fault-seed"] = fmt.Sprint(*faultSeed)
+		}
+		m, err := obs.BuildManifest("kvsbench", "", flag.CommandLine,
+			seeds, digests, col, obs.WallSince(wallStart).Seconds())
+		check(err)
+		check(m.WriteFile(*manifestP))
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		check(err)
@@ -190,32 +228,6 @@ func printSweepStats(s *sweep.Stats) {
 	fmt.Fprintln(os.Stderr)
 }
 
-// writeObsArtifacts writes the trace JSON and metrics CSV files, when
-// requested, after all experiments have run.
-func writeObsArtifacts(col *obs.Collector, tracePath, metricsPath string) error {
-	if col == nil {
-		return nil
-	}
-	write := func(path string, render func(f *os.File) error) error {
-		if path == "" {
-			return nil
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = render(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		return err
-	}
-	if err := write(tracePath, func(f *os.File) error { return col.Tracer.WriteJSON(f) }); err != nil {
-		return err
-	}
-	return write(metricsPath, func(f *os.File) error { return col.Registry.WriteCSV(f) })
-}
-
 func parseBatches(s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -232,13 +244,17 @@ func parseBatches(s string) []int {
 	return out
 }
 
+// tablesTo is where report tables go: stdout normally, stderr in -profile
+// mode (the folded account stacks own stdout there).
+var tablesTo io.Writer = os.Stdout
+
 func emit(t *report.Table, csv bool) {
 	if csv {
-		t.CSV(os.Stdout)
+		t.CSV(tablesTo)
 	} else {
-		t.Fprint(os.Stdout)
+		t.Fprint(tablesTo)
 	}
-	fmt.Println()
+	fmt.Fprintln(tablesTo)
 }
 
 func check(err error) {

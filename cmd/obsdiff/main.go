@@ -1,0 +1,66 @@
+// Command obsdiff compares two run manifests (run.json files written by
+// simdhtbench/kvsbench -manifest) and reports every difference: config and
+// arch drift, artifact digest changes, per-metric deltas and per-node
+// cycle-account deltas. Wall-derived fields (wall_seconds, sim-speed
+// metrics) are always ignored.
+//
+// Usage:
+//
+//	obsdiff [-rel f] [-abs f] old.json new.json
+//
+// Exit status: 0 when the manifests match within tolerance, 1 when any
+// delta or one-sided key remains, 2 on usage or I/O errors. The zero
+// default tolerances demand exact equality — the right setting for
+// same-config regression checks, since this simulator is deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"simdhtbench/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obsdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rel := fs.Float64("rel", 0, "relative tolerance for numeric values (0 = exact)")
+	abs := fs.Float64("abs", 0, "absolute tolerance for numeric values (0 = exact)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: obsdiff [-rel f] [-abs f] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := obs.ReadManifest(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "obsdiff:", err)
+		return 2
+	}
+	new, err := obs.ReadManifest(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "obsdiff:", err)
+		return 2
+	}
+	report := obs.DiffManifests(old, new, obs.DiffOptions{RelTol: *rel, AbsTol: *abs})
+	if err := report.Write(stdout); err != nil {
+		fmt.Fprintln(stderr, "obsdiff:", err)
+		return 2
+	}
+	if report.Clean() {
+		return 0
+	}
+	return 1
+}

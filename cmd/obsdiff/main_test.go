@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simdhtbench/internal/obs"
+)
+
+// testManifest is a small but fully-populated manifest: config, artifacts,
+// metrics and a two-node cycle account.
+func testManifest() *obs.Manifest {
+	return &obs.Manifest{
+		Tool:   "simdhtbench",
+		GitRev: "deadbeef",
+		Arch:   "Intel Skylake (Cluster A, 40 cores)",
+		Args:   []string{"fig7a"},
+		Config: map[string]string{"queries": "400", "seed": "1"},
+		Seeds:  map[string]string{"seed": "1"},
+		Artifacts: map[string]string{
+			"metrics": "sha256:aa", "trace": "sha256:bb",
+		},
+		Metrics: []obs.MetricPoint{
+			{Kind: "counter", Name: "engine_cycles_total", Labels: "{config=a}", Value: "123.5"},
+			{Kind: "gauge", Name: "sim_speed_mlookups_per_s", Labels: "{config=a}", Value: "99"},
+		},
+		Account: []string{
+			"a;hash 100",
+			"a;probe;mem:L1D 250.5",
+		},
+		AccountDigest: "sha256:cc",
+		WallSeconds:   1.25,
+	}
+}
+
+func writeManifest(t *testing.T, m *obs.Manifest, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSelfDiffIsEmpty(t *testing.T) {
+	path := writeManifest(t, testManifest(), "run.json")
+	var out, errOut strings.Builder
+	if code := run([]string{path, path}, &out, &errOut); code != 0 {
+		t.Fatalf("self-diff exit = %d, stderr: %s", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("self-diff produced output:\n%s", out.String())
+	}
+}
+
+func TestWallClockFieldsIgnored(t *testing.T) {
+	old := writeManifest(t, testManifest(), "old.json")
+	m := testManifest()
+	m.WallSeconds = 99.9
+	m.Metrics[1].Value = "12345" // sim_speed_mlookups_per_s: wall-derived
+	new := writeManifest(t, m, "new.json")
+	var out, errOut strings.Builder
+	if code := run([]string{old, new}, &out, &errOut); code != 0 {
+		t.Fatalf("wall-clock-only diff exit = %d, output:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestPlantedAccountRegressionExitsNonzero(t *testing.T) {
+	old := writeManifest(t, testManifest(), "old.json")
+	m := testManifest()
+	m.Account[1] = "a;probe;mem:L1D 313.125" // +25% on one phase node
+	new := writeManifest(t, m, "new.json")
+	var out, errOut strings.Builder
+	code := run([]string{old, new}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("planted regression exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "account a;probe;mem:L1D") ||
+		!strings.Contains(out.String(), "+25.00%") {
+		t.Fatalf("regression not reported as account delta:\n%s", out.String())
+	}
+}
+
+func TestRegressionWithinToleranceAccepted(t *testing.T) {
+	old := writeManifest(t, testManifest(), "old.json")
+	m := testManifest()
+	m.Account[1] = "a;probe;mem:L1D 313.125"
+	new := writeManifest(t, m, "new.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-rel", "0.30", old, new}, &out, &errOut); code != 0 {
+		t.Fatalf("within-tolerance diff exit = %d, output:\n%s", code, out.String())
+	}
+}
+
+func TestMetricDeltaReported(t *testing.T) {
+	old := writeManifest(t, testManifest(), "old.json")
+	m := testManifest()
+	m.Metrics[0].Value = "200"
+	new := writeManifest(t, m, "new.json")
+	var out, errOut strings.Builder
+	if code := run([]string{old, new}, &out, &errOut); code != 1 {
+		t.Fatalf("metric delta exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "engine_cycles_total") {
+		t.Fatalf("metric delta not reported:\n%s", out.String())
+	}
+}
+
+func TestUsageAndIOErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	missing := filepath.Join(t.TempDir(), "missing.json")
+	if code := run([]string{missing, missing}, &out, &errOut); code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{garbage, garbage}, &out, &errOut); code != 2 {
+		t.Fatalf("garbage-file exit = %d, want 2", code)
+	}
+}

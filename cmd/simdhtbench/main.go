@@ -18,13 +18,19 @@
 //
 // Observability: -trace out.json writes a Chrome trace_event file (virtual
 // time: engine cycles) and -metrics out.csv writes the metrics registry;
-// both are byte-identical across runs at any -parallel setting. -keytrace
-// records/replays key traces (the flag was previously named -trace).
+// both are byte-identical across runs at any -parallel setting. -profile
+// cycles emits the deterministic cycle account — folded flamegraph stacks
+// on stdout, breakdown and report tables on stderr. -manifest run.json
+// writes a run manifest (config, seeds, artifact digests, metrics, account)
+// for cmd/obsdiff to compare. -heartbeat N prints stderr liveness every N
+// measured variants. -keytrace records/replays key traces (the flag was
+// previously named -trace).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,6 +42,7 @@ import (
 	"simdhtbench/internal/experiments"
 	"simdhtbench/internal/fault"
 	"simdhtbench/internal/obs"
+	"simdhtbench/internal/obs/prof"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 	"simdhtbench/internal/workload"
@@ -64,6 +71,9 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file (virtual time = engine cycles)")
 		metricsOut = flag.String("metrics", "", "write the metrics registry as CSV")
+		profile    = flag.String("profile", "", "emit the deterministic cycle account: 'cycles' writes folded flamegraph stacks to stdout (pipe into flamegraph.pl) and the breakdown table to stderr; experiment tables move to stderr")
+		manifestP  = flag.String("manifest", "", "write a structured run manifest (JSON: config, seeds, artifact digests, metric snapshot, cycle account) to this file")
+		heartbeat  = flag.Int("heartbeat", 0, "print a stderr progress line every N measured variants (0 = off; wall-derived, never in deterministic output)")
 
 		faults    = flag.String("faults", "", "run: fault-injection spec; 'pressure=<items>@<period>' injects charged insert-pressure bursts into the measured window")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan RNG seed (0 = -seed)")
@@ -73,8 +83,17 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	wallStart := obs.WallNow()
+	if *profile != "" && *profile != "cycles" {
+		fatal(fmt.Errorf("unknown -profile kind %q (want cycles)", *profile))
+	}
+	if *profile != "" {
+		// The folded cycle-account stacks own stdout in profile mode, so the
+		// experiment tables (and other report prints) move to stderr.
+		tablesTo = os.Stderr
+	}
 
-	// Profiling output is wall-clock-shaped by nature and goes to its own
+	// pprof output is wall-clock-shaped by nature and goes to its own
 	// files, never into tables, -trace or -metrics, so the deterministic
 	// artifacts stay byte-identical whether or not profiling is enabled.
 	if *cpuProfile != "" {
@@ -92,10 +111,15 @@ func main() {
 	if *sstats {
 		opts.OnSweep = printSweepStats
 	}
+	hb := obs.NewHeartbeat(*heartbeat, os.Stderr)
+	opts.Heartbeat = hb
 	var col *obs.Collector
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *profile != "" || *manifestP != "" {
 		col = obs.NewCollector()
 		opts.Obs = col
+	}
+	if *profile != "" || *manifestP != "" {
+		col.EnableProfiling(prof.NewSet())
 	}
 
 	args := flag.Args()
@@ -115,7 +139,7 @@ func main() {
 		case "listing1":
 			s, err := experiments.Listing1()
 			check(err)
-			fmt.Println(s)
+			fmt.Fprintln(tablesTo, s)
 		case "fig5", "cs1a":
 			t, err := experiments.Fig5(opts)
 			check(err)
@@ -124,8 +148,8 @@ func main() {
 				for _, p := range []workload.Pattern{workload.Uniform, workload.Skewed} {
 					g, err := experiments.Fig5Grid(p, opts)
 					check(err)
-					g.Fprint(os.Stdout)
-					fmt.Println()
+					g.Fprint(tablesTo)
+					fmt.Fprintln(tablesTo)
 				}
 			}
 		case "fig6", "cs1b":
@@ -167,7 +191,7 @@ func main() {
 		case "validate":
 			rows, err := core.ValidateGrid(model, [][2]int{{*n, *m}}, *keyBits, *valBits, *size, model.Widths)
 			check(err)
-			fmt.Print(core.FormatListing(model, *keyBits, *valBits, model.Widths, rows))
+			fmt.Fprint(tablesTo, core.FormatListing(model, *keyBits, *valBits, model.Widths, rows))
 		case "run":
 			pat := workload.Uniform
 			if *pattern == "skewed" {
@@ -182,6 +206,7 @@ func main() {
 				Obs:    col.Scope("config", "run"),
 				Faults: spec, FaultSeed: *faultSeed,
 				RecordSimSpeed: *simspeed,
+				Heartbeat:      hb,
 			}
 			if *keytrace != "" {
 				f, err := os.Open(*keytrace)
@@ -234,7 +259,7 @@ func main() {
 		case "selftest":
 			checked, err := core.SelfTest(50, *seed)
 			check(err)
-			fmt.Printf("selftest: %d (configuration, variant) combinations agree with the native reference\n", checked)
+			fmt.Fprintf(tablesTo, "selftest: %d (configuration, variant) combinations agree with the native reference\n", checked)
 		case "record":
 			// Record the configured pattern's query stream to -keytrace for
 			// later replay (a seed-stable capture of the workload).
@@ -260,12 +285,28 @@ func main() {
 				err = cerr
 			}
 			check(err)
-			fmt.Printf("recorded %d %s queries to %s\n", *queries, pat, *keytrace)
+			fmt.Fprintf(tablesTo, "recorded %d %s queries to %s\n", *queries, pat, *keytrace)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q (want table1, fig2, listing1, fig5..fig9, split, mixed, amac, arches, validate, run, record, advise, selftest, all)", cmd))
 		}
 	}
-	check(writeObsArtifacts(col, *traceOut, *metricsOut))
+	digests, err := obs.WriteArtifacts(col, *traceOut, *metricsOut)
+	check(err)
+	if *profile != "" {
+		set := col.ProfilerSet()
+		check(set.WriteTable(os.Stderr))
+		check(set.WriteFolded(os.Stdout))
+	}
+	if *manifestP != "" {
+		seeds := map[string]string{"seed": fmt.Sprint(*seed)}
+		if *faultSeed != 0 {
+			seeds["fault-seed"] = fmt.Sprint(*faultSeed)
+		}
+		m, err := obs.BuildManifest("simdhtbench", model.Name, flag.CommandLine,
+			seeds, digests, col, obs.WallSince(wallStart).Seconds())
+		check(err)
+		check(m.WriteFile(*manifestP))
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		check(err)
@@ -308,32 +349,6 @@ func printSweepStats(s *sweep.Stats) {
 	fmt.Fprintln(os.Stderr)
 }
 
-// writeObsArtifacts writes the trace JSON and metrics CSV files, when
-// requested, after all experiments have run.
-func writeObsArtifacts(col *obs.Collector, tracePath, metricsPath string) error {
-	if col == nil {
-		return nil
-	}
-	write := func(path string, render func(f *os.File) error) error {
-		if path == "" {
-			return nil
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		err = render(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		return err
-	}
-	if err := write(tracePath, func(f *os.File) error { return col.Tracer.WriteJSON(f) }); err != nil {
-		return err
-	}
-	return write(metricsPath, func(f *os.File) error { return col.Registry.WriteCSV(f) })
-}
-
 func runAll(opts experiments.Options, csv bool) {
 	emit(experiments.Table1(), csv)
 	for _, f := range []func(experiments.Options) (*report.Table, error){
@@ -346,8 +361,8 @@ func runAll(opts experiments.Options, csv bool) {
 	}
 	s, err := experiments.Listing1()
 	check(err)
-	fmt.Println("Listing 1: SIMD-aware design choices")
-	fmt.Println(s)
+	fmt.Fprintln(tablesTo, "Listing 1: SIMD-aware design choices")
+	fmt.Fprintln(tablesTo, s)
 }
 
 func resultTable(r *core.Result) *report.Table {
@@ -427,13 +442,17 @@ func sizeArg(sz int) string {
 	return fmt.Sprintf("%dKB", sz>>10)
 }
 
+// tablesTo is where experiment reports go: stdout normally, stderr in
+// -profile mode (the folded cycle-account stacks own stdout there).
+var tablesTo io.Writer = os.Stdout
+
 func emit(t *report.Table, csv bool) {
 	if csv {
-		t.CSV(os.Stdout)
+		t.CSV(tablesTo)
 	} else {
-		t.Fprint(os.Stdout)
+		t.Fprint(tablesTo)
 	}
-	fmt.Println()
+	fmt.Fprintln(tablesTo)
 }
 
 func check(err error) {

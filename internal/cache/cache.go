@@ -212,8 +212,30 @@ func (h *Hierarchy) AccessLineDetail(line uint64) (cycles, contentionExcess floa
 }
 
 func (h *Hierarchy) accessLineDetail(line uint64) (float64, float64) {
+	c, e, _ := h.accessLineServed(line)
+	return c, e
+}
+
+// AccessLineServed performs a single-line access and additionally reports
+// which level served it: the index into Levels() of the hitting level, or
+// len(Levels()) when the fill went to DRAM. The cycle accounting is the
+// accessLineServed path itself — identical float operations in identical
+// order to Access/AccessLineDetail — so profiled and unprofiled runs charge
+// bit-identical latencies.
+func (h *Hierarchy) AccessLineServed(line uint64) (cycles float64, served int) {
+	c, _, s := h.accessLineServed(mem.LineOf(line))
+	return c, s
+}
+
+// AccessLineDetailServed is AccessLineDetail plus the serving-level index
+// (see AccessLineServed).
+func (h *Hierarchy) AccessLineDetailServed(line uint64) (cycles, contentionExcess float64, served int) {
+	return h.accessLineServed(mem.LineOf(line))
+}
+
+func (h *Hierarchy) accessLineServed(line uint64) (float64, float64, int) {
 	var cycles float64
-	for _, l := range h.levels {
+	for i, l := range h.levels {
 		cycles += l.cfg.Latency
 		hit, evicted := l.access(line)
 		if h.Probe != nil {
@@ -223,14 +245,14 @@ func (h *Hierarchy) accessLineDetail(line uint64) (float64, float64) {
 			}
 		}
 		if hit {
-			return cycles, 0
+			return cycles, 0, i
 		}
 	}
 	h.dramAccess++
 	if h.Probe != nil {
 		h.Probe.LevelAccess("DRAM", true)
 	}
-	return cycles + h.dramLatency*h.DRAMPenalty, h.dramLatency * (h.DRAMPenalty - 1)
+	return cycles + h.dramLatency*h.DRAMPenalty, h.dramLatency * (h.DRAMPenalty - 1), len(h.levels)
 }
 
 // Touch installs a line in every level without charging latency. The

@@ -152,6 +152,11 @@ type Params struct {
 	// FaultSeed seeds the fault plan; 0 falls back to Seed.
 	FaultSeed int64
 
+	// Heartbeat, when non-nil, ticks once per measured variant — periodic
+	// stderr liveness output for long runs. Its output is wall-derived and
+	// never lands in deterministic artifacts.
+	Heartbeat *obs.Heartbeat
+
 	// RecordSimSpeed additionally publishes each variant's simulator
 	// throughput (simulated Mlookups per host second) as an obs gauge when
 	// Obs is attached. Sim-speed is wall-clock-derived and nondeterministic,

@@ -214,6 +214,13 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 	run(e, 0, p.Warmup)
 	e.SetCharging(true)
 	e.ResetCycles()
+	if vc != nil {
+		// Attach the cycle-account profiler only for the measured window
+		// (after warm-up, right at the cycle reset) so its Total mirrors
+		// e.Cycles() exactly. Profiler returns nil — the free "off" state —
+		// unless profiling was enabled on the run's collector.
+		e.SetProfiler(vc.Profiler("cycles"))
+	}
 
 	// Each variant gets a fresh identically-seeded plan, so every variant
 	// draws the same pressure keys at the same points in its stream.
@@ -292,5 +299,6 @@ func measure(p Params, table *cuckoo.Table, run func(e *engine.Engine, from, n i
 			vc.Gauge("sim_speed_mlookups_per_s").Set(m.SimSpeed)
 		}
 	}
+	p.Heartbeat.Tick(cycles)
 	return m
 }

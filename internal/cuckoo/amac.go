@@ -42,6 +42,7 @@ func (t *Table) LookupAMACBatch(e *engine.Engine, s *Stream, from, n int, cfg AM
 		panic(fmt.Sprintf("cuckoo: AMAC group size %d outside [2,32]", g))
 	}
 
+	prevPhase := e.SetPhase(engine.PhaseProbe)
 	hits := 0
 	keys := u64Scratch(&t.scratch.keys, g)
 	buckets := intScratch(&t.scratch.buckets, g)
@@ -65,8 +66,10 @@ func (t *Table) LookupAMACBatch(e *engine.Engine, s *Stream, from, n int, cfg AM
 				if !active.Test(i) {
 					continue
 				}
+				hashPhase := e.SetPhase(engine.PhaseHash)
 				e.ScalarHash()
 				buckets[i] = t.Bucket(way, keys[i])
+				e.SetPhase(hashPhase)
 				e.Charge(arch.OpScalarALU, arch.WidthScalar) // address formation
 				e.Charge(arch.OpScalarALU, arch.WidthScalar) // prefetch issue + state update
 				e.OverlappedAccess(t.Arena.Addr(t.L.keyOff(buckets[i], 0)), t.L.BucketBytes())
@@ -103,5 +106,6 @@ func (t *Table) LookupAMACBatch(e *engine.Engine, s *Stream, from, n int, cfg AM
 			}
 		}
 	}
+	e.SetPhase(prevPhase)
 	return hits
 }

@@ -76,12 +76,15 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 	groups := (t.L.N + bpv - 1) / bpv
 	hits := 0
 	bdl := t.bundlesFor(e.Arch, cfg.Width)
+	prevPhase := e.SetPhase(engine.PhaseProbe)
 
 	for q := 0; q < n; q++ {
 		// Amortized vectorized bucket calculation for the next hashLanes
 		// keys: N packed hashes, charged as one precomputed bundle.
 		if q%hashLanes == 0 {
+			hashPhase := e.SetPhase(engine.PhaseHash)
 			e.ChargeBatch(bdl.hashAll)
+			e.SetPhase(hashPhase)
 		}
 		key := e.StreamLoad(s.Arena, s.Off(from+q), s.Bits)
 		kvec := e.Set1(cfg.Width, kb, key)
@@ -144,6 +147,7 @@ func (t *Table) LookupHorizontalBatch(e *engine.Engine, s *Stream, from, n int, 
 			hits++
 		}
 	}
+	e.SetPhase(prevPhase)
 	return hits
 }
 

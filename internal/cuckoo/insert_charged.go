@@ -21,6 +21,11 @@ import (
 //
 //lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (t *Table) InsertCharged(e *engine.Engine, key, val uint64) error {
+	// The whole insert — candidate scan, BFS, relocations — is fill-phase
+	// work. The deferred restore's argument is pre-evaluated, so the defer
+	// itself stays allocation-free.
+	prevPhase := e.SetPhase(engine.PhaseFill)
+	defer e.SetPhase(prevPhase)
 	// Candidate-bucket scan: hash + per-slot load/compare, as in lookup.
 	for i := 0; i < t.L.N; i++ {
 		e.ScalarHash()

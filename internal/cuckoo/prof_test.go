@@ -1,0 +1,199 @@
+package cuckoo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"simdhtbench/internal/arch"
+	"simdhtbench/internal/engine"
+	"simdhtbench/internal/obs/prof"
+)
+
+// profCases are the charged lookup templates the cycle account must cover.
+var profCases = []struct {
+	name   string
+	layout Layout
+	run    func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int
+}{
+	{
+		name:   "scalar",
+		layout: Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12},
+		run: func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int {
+			return tab.LookupScalarBatch(e, s, 0, nq, res, nil)
+		},
+	},
+	{
+		name:   "horizontal-256",
+		layout: Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12},
+		run: func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int {
+			return tab.LookupHorizontalBatch(e, s, 0, nq, HorizontalConfig{Width: 256, BucketsPerVec: 1}, res, nil)
+		},
+	},
+	{
+		name:   "horizontal-512-2bpv",
+		layout: Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12},
+		run: func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int {
+			return tab.LookupHorizontalBatch(e, s, 0, nq, HorizontalConfig{Width: 512, BucketsPerVec: 2}, res, nil)
+		},
+	},
+	{
+		name:   "vertical-512",
+		layout: Layout{N: 3, M: 1, KeyBits: 32, ValBits: 32, BucketBits: 12},
+		run: func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int {
+			return tab.LookupVerticalBatch(e, s, 0, nq, VerticalConfig{Width: 512}, res, nil)
+		},
+	},
+	{
+		name:   "vertical-hybrid-512",
+		layout: Layout{N: 2, M: 2, KeyBits: 32, ValBits: 32, BucketBits: 12},
+		run: func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int {
+			return tab.LookupVerticalBatch(e, s, 0, nq, VerticalConfig{Width: 512}, res, nil)
+		},
+	},
+	{
+		name:   "amac",
+		layout: Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12},
+		run: func(tab *Table, e *engine.Engine, s *Stream, res *ResultBuf, nq int) int {
+			return tab.LookupAMACBatch(e, s, 0, nq, AMACConfig{}, res, nil)
+		},
+	},
+}
+
+// TestProfilerTotalMirrorsCycles is the no-unattributed-residue invariant:
+// with a profiler attached, every charged cycle flows through a paired
+// AddTotal, so the account's Total equals Engine.Cycles() to the last bit,
+// and the per-leaf tree sums to the same value within float tolerance (the
+// leaf re-sum runs in a different addition order).
+func TestProfilerTotalMirrorsCycles(t *testing.T) {
+	const nq = 512
+	model := arch.SkylakeClusterA()
+	for _, tc := range profCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, s, res := fusedSetup(t, tc.layout, nq)
+			e := engine.New(model, 1)
+			p := prof.NewSet().Profiler("cycles", "test", tc.name)
+			e.SetProfiler(p)
+			tc.run(tab, e, s, res, nq)
+
+			if math.Float64bits(p.Total()) != math.Float64bits(e.Cycles()) {
+				t.Fatalf("account total %.17g != engine cycles %.17g", p.Total(), e.Cycles())
+			}
+			if e.Cycles() == 0 {
+				t.Fatal("no cycles charged")
+			}
+			sum := p.TreeSum()
+			if diff := math.Abs(sum - p.Total()); diff > 1e-9*p.Total() {
+				t.Fatalf("tree sum %.17g vs total %.17g (diff %g): unattributed residue", sum, p.Total(), diff)
+			}
+		})
+	}
+}
+
+// TestProfilerCyclesBitIdenticalToUnprofiled pins that attaching a profiler
+// never changes what is charged: the profiled engine decays ChargeBatch to
+// the per-op path, which is already pinned bit-identical to fused charging,
+// so total cycles, op counts and mem cycles must match an unprofiled engine
+// exactly.
+func TestProfilerCyclesBitIdenticalToUnprofiled(t *testing.T) {
+	const nq = 512
+	model := arch.SkylakeClusterA()
+	for _, tc := range profCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, s, res := fusedSetup(t, tc.layout, nq)
+
+			plain := engine.New(model, 1)
+			profiled := engine.New(model, 1)
+			profiled.SetProfiler(prof.NewSet().Profiler("cycles", "test"))
+
+			hitsPlain := tc.run(tab, plain, s, res, nq)
+			hitsProf := tc.run(tab, profiled, s, res, nq)
+
+			if hitsPlain != hitsProf {
+				t.Fatalf("hits diverge: plain %d vs profiled %d", hitsPlain, hitsProf)
+			}
+			if math.Float64bits(plain.Cycles()) != math.Float64bits(profiled.Cycles()) {
+				t.Fatalf("cycles diverge: plain %.17g vs profiled %.17g", plain.Cycles(), profiled.Cycles())
+			}
+			if plain.Ops() != profiled.Ops() {
+				t.Fatalf("ops diverge: %d vs %d", plain.Ops(), profiled.Ops())
+			}
+			if math.Float64bits(plain.MemCycles()) != math.Float64bits(profiled.MemCycles()) {
+				t.Fatalf("mem cycles diverge: %.17g vs %.17g", plain.MemCycles(), profiled.MemCycles())
+			}
+		})
+	}
+}
+
+// TestProfilerCoversInsertCharged extends the mirror invariant to the charged
+// fill path (kick chains included), which runs under the fill phase.
+func TestProfilerCoversInsertCharged(t *testing.T) {
+	tab, _, _ := fusedSetup(t, Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 10}, 16)
+	e := engine.New(arch.SkylakeClusterA(), 1)
+	p := prof.NewSet().Profiler("cycles", "fill")
+	e.SetProfiler(p)
+	inserted := 0
+	for key := uint64(1); key < 2048 && inserted < 64; key += 2 { // odd keys: never in FillRandom's set
+		if err := tab.InsertCharged(e, key, key); err == nil {
+			inserted++
+		}
+	}
+	if inserted == 0 {
+		t.Fatal("no inserts landed")
+	}
+	if math.Float64bits(p.Total()) != math.Float64bits(e.Cycles()) {
+		t.Fatalf("account total %.17g != engine cycles %.17g", p.Total(), e.Cycles())
+	}
+	var b strings.Builder
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ";fill;") {
+		t.Fatalf("charged inserts not attributed to the fill phase:\n%s", b.String())
+	}
+}
+
+// TestProfilerSteadyStateAllocFree pins the hot-path cost of an attached
+// profiler: after the first batch resolves every (phase, leaf) handle, a
+// measured batch must not allocate.
+func TestProfilerSteadyStateAllocFree(t *testing.T) {
+	const nq = 256
+	for _, tc := range profCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, s, res, e := allocSetup(t, tc.layout, nq)
+			e.SetProfiler(prof.NewSet().Profiler("cycles", "alloc"))
+			tc.run(tab, e, s, res, nq) // resolve handles, grow scratch
+			allocs := testing.AllocsPerRun(10, func() {
+				tc.run(tab, e, s, res, nq)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s with profiler allocates %.1f times per batch; want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestProfilerPhaseLeaves checks the frame structure the templates emit:
+// hash and probe phases must both appear, and memory leaves must be nested
+// under a phase, not the root.
+func TestProfilerPhaseLeaves(t *testing.T) {
+	const nq = 512
+	tab, s, res := fusedSetup(t, Layout{N: 2, M: 4, KeyBits: 32, ValBits: 32, BucketBits: 12}, nq)
+	e := engine.New(arch.SkylakeClusterA(), 1)
+	p := prof.NewSet().Profiler("cycles", "phases")
+	e.SetProfiler(p)
+	tab.LookupHorizontalBatch(e, s, 0, nq, HorizontalConfig{Width: 256, BucketsPerVec: 1}, res, nil)
+	var b strings.Builder
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	folded := b.String()
+	for _, want := range []string{";hash;", ";probe;", ";probe;mem:"} {
+		if !strings.Contains(folded, want) {
+			t.Fatalf("folded output missing %q:\n%s", want, folded)
+		}
+	}
+	if strings.Contains(folded, "phases;mem:") {
+		t.Fatalf("memory leaf attached to root instead of a phase:\n%s", folded)
+	}
+}

@@ -19,6 +19,7 @@ import (
 //
 //lint:hotpath zero-alloc steady state pinned by AllocsPerRun tests
 func (t *Table) LookupScalarBatch(e *engine.Engine, s *Stream, from, n int, res *ResultBuf, found []bool) int {
+	prevPhase := e.SetPhase(engine.PhaseProbe)
 	hits := 0
 	for q := 0; q < n; q++ {
 		key := e.StreamLoad(s.Arena, s.Off(from+q), s.Bits)
@@ -31,6 +32,7 @@ func (t *Table) LookupScalarBatch(e *engine.Engine, s *Stream, from, n int, res 
 			e.StreamStore(res.Arena, res.Off(from+q), res.Bits, v)
 		}
 	}
+	e.SetPhase(prevPhase)
 	return hits
 }
 
@@ -38,8 +40,10 @@ func (t *Table) LookupScalarBatch(e *engine.Engine, s *Stream, from, n int, res 
 // compares and branches.
 func (t *Table) lookupScalarOne(e *engine.Engine, key uint64) (uint64, bool) {
 	for i := 0; i < t.L.N; i++ {
+		hashPhase := e.SetPhase(engine.PhaseHash)
 		e.ScalarHash()
 		b := t.Bucket(i, key)
+		e.SetPhase(hashPhase)
 		for s := 0; s < t.L.M; s++ {
 			k := e.ScalarLoad(t.Arena, t.L.slotOff(b, s), t.L.KeyBits)
 			e.ScalarCompare()

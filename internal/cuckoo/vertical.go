@@ -73,6 +73,7 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 	offs := intScratch(&t.scratch.koffs, w)  // key offsets per lane
 	voffs := intScratch(&t.scratch.voffs, w) // payload offsets per lane
 	bdl := t.bundlesFor(e.Arch, cfg.Width)
+	prevPhase := e.SetPhase(engine.PhaseProbe)
 
 	for g := 0; g*w < n; g++ {
 		lo := g * w
@@ -94,7 +95,9 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 
 		for way := 0; way < t.L.N && !active.None(); way++ {
 			// vec_calc_hash: packed multiply-shift, one key per lane.
+			hashPhase := e.SetPhase(engine.PhaseHash)
 			e.ChargeBatch(bdl.hashOne)
+			e.SetPhase(hashPhase)
 			for slot := 0; slot < t.L.M && !active.None(); slot++ {
 				if slot > 0 {
 					// Selective gather setup for the next slot (compress the
@@ -141,6 +144,7 @@ func (t *Table) LookupVerticalBatch(e *engine.Engine, s *Stream, from, n int, cf
 			}
 		}
 	}
+	e.SetPhase(prevPhase)
 	return hits
 }
 

@@ -30,6 +30,10 @@ type Sim struct {
 
 	// Probe, when non-nil, observes each dispatched event (obs layer).
 	Probe obs.SimProbe
+
+	// Heartbeat, when non-nil, ticks once per dispatched event — stderr-only
+	// liveness output for long runs, never part of deterministic artifacts.
+	Heartbeat *obs.Heartbeat
 }
 
 // New returns an empty simulation at time 0.
@@ -88,6 +92,7 @@ func (s *Sim) Step() bool {
 	if s.Probe != nil {
 		s.Probe.EventRun(ev.at)
 	}
+	s.Heartbeat.Tick(ev.at)
 	ev.fn()
 	return true
 }
@@ -185,13 +190,24 @@ type Resource struct {
 	sim   *Sim
 	cap   int
 	inUse int
-	queue []func()
+	queue []waiter
+
+	// OnWait, when non-nil, is called with the queue-wait duration (virtual
+	// seconds) each time a queued request is finally granted — the hook the
+	// cycle accounting uses to attribute server queueing delay.
+	OnWait func(seconds float64)
 
 	// Stats.
 	grants    uint64
 	queuedCum uint64
 	busyTime  float64
 	lastTick  float64
+}
+
+// waiter is a queued Acquire plus the virtual time it started waiting.
+type waiter struct {
+	fn func()
+	at float64
 }
 
 // NewResource creates a resource with the given capacity on sim.
@@ -212,7 +228,7 @@ func (r *Resource) Acquire(fn func()) {
 		return
 	}
 	r.queuedCum++
-	r.queue = append(r.queue, fn)
+	r.queue = append(r.queue, waiter{fn: fn, at: r.sim.Now()})
 }
 
 // Release returns a unit and grants the longest-waiting request, if any.
@@ -227,7 +243,10 @@ func (r *Resource) Release() {
 		r.queue = r.queue[1:]
 		r.inUse++
 		r.grants++
-		r.sim.After(0, next)
+		if r.OnWait != nil {
+			r.OnWait(r.sim.Now() - next.at)
+		}
+		r.sim.After(0, next.fn)
 	}
 }
 

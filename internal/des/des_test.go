@@ -1,7 +1,10 @@
 package des
 
 import (
+	"strings"
 	"testing"
+
+	"simdhtbench/internal/obs"
 )
 
 func TestEventOrdering(t *testing.T) {
@@ -196,4 +199,42 @@ func TestZeroCapacityPanics(t *testing.T) {
 		}
 	}()
 	NewResource(New(), 0)
+}
+
+func TestResourceOnWaitReportsQueueDelay(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	var waits []float64
+	r.OnWait = func(sec float64) { waits = append(waits, sec) }
+	// Holder takes the unit for 5s; a second request arrives at t=2 and is
+	// granted at t=5 — a 3s queue wait.
+	r.Acquire(func() {
+		s.After(5, r.Release)
+	})
+	s.At(2, func() {
+		r.Acquire(func() { r.Release() })
+	})
+	s.Run()
+	if len(waits) != 1 {
+		t.Fatalf("OnWait fired %d times, want 1", len(waits))
+	}
+	if waits[0] != 3 {
+		t.Errorf("queue wait = %v, want 3", waits[0])
+	}
+}
+
+func TestHeartbeatTicksPerEvent(t *testing.T) {
+	s := New()
+	var b strings.Builder
+	s.Heartbeat = obs.NewHeartbeat(2, &b)
+	for i := 0; i < 5; i++ {
+		s.After(float64(i), func() {})
+	}
+	s.Run()
+	if got := s.Heartbeat.Ticks(); got != 5 {
+		t.Errorf("heartbeat ticks = %d, want 5 (one per dispatched event)", got)
+	}
+	if !strings.Contains(b.String(), "heartbeat:") {
+		t.Errorf("no heartbeat output:\n%s", b.String())
+	}
 }

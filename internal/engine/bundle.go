@@ -51,11 +51,15 @@ func (b *CostBundle) Len() int { return len(b.items) }
 // ChargeBatch charges every op in the bundle, exactly as the equivalent
 // sequence of Charge calls would: same cycle totals (bit for bit, because
 // the additions happen in the same order on the same precomputed values),
-// same per-class breakdown, same op count, and — when a probe is attached —
-// the same event stream. The batched fast path engages only when nothing
-// observable differs from the per-op path: charging on, no probe, no width
-// license change pending, fusing enabled, and the bundle resolved against
-// this engine's model; otherwise it decays to per-op Charge calls.
+// same per-class breakdown, same op count, and — when a probe or profiler is
+// attached — the same event stream and attribution. The batched fast path
+// engages only when nothing observable differs from the per-op path:
+// charging on, no probe, no width license change pending, fusing enabled,
+// and the bundle resolved against this engine's model; otherwise it decays
+// to per-op Charge calls. An attached profiler keeps the fast path: the
+// profiled loop performs the identical additions in the identical order and
+// attributes each item to the same (phase, op class) leaf Charge would, so
+// the account — like the cycle total — matches the per-op path bit for bit.
 func (e *Engine) ChargeBatch(b *CostBundle) {
 	if !e.fused || !e.charging || e.probe != nil || b.maxWidth > e.maxWidth || b.model != e.Arch {
 		for i := range b.items {
@@ -63,10 +67,20 @@ func (e *Engine) ChargeBatch(b *CostBundle) {
 		}
 		return
 	}
-	for i := range b.items {
-		it := &b.items[i]
-		e.cycles += it.cost
-		e.opCycles[it.class] += it.cost
+	if e.prof != nil {
+		for i := range b.items {
+			it := &b.items[i]
+			e.cycles += it.cost
+			e.opCycles[it.class] += it.cost
+			e.prof.AddSelf(e.profOpHandle(it.class), it.cost)
+			e.prof.AddTotal(it.cost)
+		}
+	} else {
+		for i := range b.items {
+			it := &b.items[i]
+			e.cycles += it.cost
+			e.opCycles[it.class] += it.cost
+		}
 	}
 	e.opSeen |= b.seenMask
 	e.ops += uint64(len(b.items))

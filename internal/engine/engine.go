@@ -22,6 +22,7 @@ import (
 	"simdhtbench/internal/cache"
 	"simdhtbench/internal/mem"
 	"simdhtbench/internal/obs"
+	"simdhtbench/internal/obs/prof"
 	"simdhtbench/internal/vec"
 )
 
@@ -57,6 +58,21 @@ type Engine struct {
 	// hot path pays exactly one nil check per charge; warm-up (charging
 	// off) emits nothing, so measurements stay comparable.
 	probe obs.EngineProbe
+
+	// prof, when non-nil, attributes every charged cycle along the frame
+	// stack phase → op class / mem:<level> / fixed (internal/obs/prof),
+	// mirroring the engine's own cycle additions value-for-value in the
+	// same order so prof.Total() == Cycles() exactly. The per-phase handle
+	// caches resolve each tree leaf once; the steady-state cost of an
+	// attributed charge is two array indexes and two float adds.
+	prof         *prof.Profiler
+	phase        Phase
+	profPhase    [NumPhases]prof.Handle
+	profOp       [NumPhases][arch.NumOpClasses]prof.Handle
+	profFixed    [NumPhases]prof.Handle
+	profMem      [NumPhases][]prof.Handle
+	profLicense  prof.Handle
+	memLeafNames []string
 
 	// Reusable scratch for Gather and VecLoadParts, so the measured loop
 	// performs zero heap allocations. An Engine models one core and is
@@ -150,6 +166,9 @@ func (e *Engine) Charge(c arch.OpClass, width int) {
 		if e.probe != nil {
 			e.probe.WidthLicensed(width, e.cycles)
 		}
+		if e.prof != nil {
+			e.prof.AddEvents(e.profLicenseHandle(), 1)
+		}
 	}
 	if !e.charging {
 		return
@@ -164,6 +183,10 @@ func (e *Engine) Charge(c arch.OpClass, width int) {
 	e.ops++
 	if e.probe != nil {
 		e.probe.OpCharged(c.String(), width, cost)
+	}
+	if e.prof != nil {
+		e.prof.AddSelf(e.profOpHandle(c), cost)
+		e.prof.AddTotal(cost)
 	}
 }
 
@@ -202,6 +225,10 @@ func (e *Engine) ChargeCycles(cy float64) {
 	if e.probe != nil {
 		e.probe.FixedCharged(cy)
 	}
+	if e.prof != nil {
+		e.prof.AddSelf(e.profFixedHandle(), cy)
+		e.prof.AddTotal(cy)
+	}
 }
 
 // chargeMem charges a memory access through the cache hierarchy.
@@ -210,12 +237,39 @@ func (e *Engine) chargeMem(addr uint64, size int) {
 		e.Cache.Touch(addr, size)
 		return
 	}
+	if e.prof != nil {
+		e.chargeMemProfiled(addr, size)
+		return
+	}
 	cy := e.Cache.Access(addr, size)
 	e.cycles += cy
 	e.memCycles += cy
 	if e.probe != nil {
 		e.probe.MemCharged(cy)
 	}
+}
+
+// chargeMemProfiled mirrors the unprofiled chargeMem bit-for-bit:
+// Cache.Access sums per-line latencies in line order, and this loop performs
+// the identical line accesses and additions in the identical order —
+// attributing each line's latency to the level that served it — before
+// charging the summed total once, exactly as `cycles += Cache.Access(...)`
+// does. Profiled and unprofiled runs therefore charge identical cycles.
+func (e *Engine) chargeMemProfiled(addr uint64, size int) {
+	first := mem.LineOf(addr)
+	n := mem.LinesTouched(addr, size)
+	var cy float64
+	for i := 0; i < n; i++ {
+		lc, served := e.Cache.AccessLineServed(first + uint64(i)*mem.LineSize)
+		cy += lc
+		e.prof.AddSelf(e.profMemHandle(served), lc)
+	}
+	e.cycles += cy
+	e.memCycles += cy
+	if e.probe != nil {
+		e.probe.MemCharged(cy)
+	}
+	e.prof.AddTotal(cy)
 }
 
 // MemAccess charges an access to [addr, addr+size) without transferring
@@ -243,12 +297,16 @@ func (e *Engine) OverlappedAccess(addr uint64, size int) {
 	first := mem.LineOf(addr)
 	n := mem.LinesTouched(addr, size)
 	for i := 0; i < n; i++ {
-		total, excess := e.Cache.AccessLineDetail(first + uint64(i)*mem.LineSize)
+		total, excess, served := e.Cache.AccessLineDetailServed(first + uint64(i)*mem.LineSize)
 		cy := (total-excess)*e.Arch.GatherOverlap + excess
 		e.cycles += cy
 		e.memCycles += cy
 		if e.probe != nil {
 			e.probe.MemCharged(cy)
+		}
+		if e.prof != nil {
+			e.prof.AddSelf(e.profMemHandle(served), cy)
+			e.prof.AddTotal(cy)
 		}
 	}
 }
@@ -295,6 +353,10 @@ func (e *Engine) chargeStream(addr uint64, size int) {
 	e.memCycles += streamAccessCycles
 	if e.probe != nil {
 		e.probe.MemCharged(streamAccessCycles)
+	}
+	if e.prof != nil {
+		e.prof.AddSelf(e.profMemHandle(len(e.memLeafNames)-1), streamAccessCycles)
+		e.prof.AddTotal(streamAccessCycles)
 	}
 }
 
@@ -419,6 +481,10 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 		panic(fmt.Sprintf("engine: %s gathers support at most %d-bit lanes, got %d",
 			e.Arch.Name, e.Arch.GatherMaxLaneBits, laneBits))
 	}
+	// All gather costs — issue, per-lane, and the gathered-line fills —
+	// attribute to the gather phase regardless of the caller's bracket.
+	prevPhase := e.phase
+	e.phase = PhaseGather
 	e.Charge(arch.OpVecGather, bits)
 	out := vec.Zero(bits)
 	// Distinct-line tracking reuses engine scratch: a gather touches at
@@ -456,6 +522,7 @@ func (e *Engine) Gather(bits, laneBits int, a *mem.Arena, offs []int, m vec.Mask
 	if e.charging && e.probe != nil {
 		e.probe.GatherCharged(active, len(seen))
 	}
+	e.phase = prevPhase
 	return out
 }
 
@@ -469,11 +536,15 @@ func (e *Engine) chargeGatherLine(line uint64) {
 		e.Cache.Touch(line, 1)
 		return
 	}
-	total, excess := e.Cache.AccessLineDetail(line)
+	total, excess, served := e.Cache.AccessLineDetailServed(line)
 	cy := (total-excess)*e.Arch.GatherOverlap + excess
 	e.cycles += cy
 	e.memCycles += cy
 	if e.probe != nil {
 		e.probe.MemCharged(cy)
+	}
+	if e.prof != nil {
+		e.prof.AddSelf(e.profMemHandle(served), cy)
+		e.prof.AddTotal(cy)
 	}
 }

@@ -39,7 +39,8 @@ func Fig7a(o Options) (*report.Table, error) {
 						Arch: m, N: c.n, M: c.mm, KeyBits: c.keyBits, ValBits: c.valBits,
 						TableBytes: 512 << 10, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: p, Queries: o.Queries, Seed: o.Seed,
-						Obs: o.Obs.Scope("config", label),
+						Obs:       o.Obs.Scope("config", label),
+						Heartbeat: o.Heartbeat,
 					})
 					if err != nil {
 						return nil, err
@@ -94,8 +95,9 @@ func Fig7b(o Options) (*report.Table, error) {
 							Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 							TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9, Cores: cores,
 							Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-							Widths: []int{256, 512},
-							Obs:    o.Obs.Scope("config", label),
+							Widths:    []int{256, 512},
+							Obs:       o.Obs.Scope("config", label),
+							Heartbeat: o.Heartbeat,
 						})
 						if err != nil {
 							return nil, err
@@ -152,7 +154,8 @@ func Fig8(o Options) (*report.Table, error) {
 								Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 								TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
 								Pattern: p, Queries: o.Queries, Seed: o.Seed,
-								Obs: o.Obs.Scope("config", label),
+								Obs:       o.Obs.Scope("config", label),
+								Heartbeat: o.Heartbeat,
 							})
 							if err != nil {
 								return nil, err
@@ -220,7 +223,8 @@ func Fig9(o Options) (*report.Table, error) {
 					TableBytes: c.sz, LoadFactor: 0.85, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
 					Widths: []int{512}, Approaches: approaches,
-					Obs: o.Obs.Scope("config", label),
+					Obs:       o.Obs.Scope("config", label),
+					Heartbeat: o.Heartbeat,
 				})
 				if err != nil {
 					return nil, err

@@ -46,6 +46,10 @@ type Options struct {
 	// to it). Each sweep job scopes the collector with its unique config
 	// label, so output is byte-identical at any Parallel setting.
 	Obs *obs.Collector
+
+	// Heartbeat, when non-nil, emits periodic stderr progress (-heartbeat);
+	// wall-derived, never part of deterministic output.
+	Heartbeat *obs.Heartbeat
 }
 
 func (o Options) withDefaults() Options {
@@ -159,7 +163,8 @@ func gridJobs(m *arch.Model, pattern workload.Pattern, tableBytes int, o Options
 					Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 					TableBytes: tableBytes, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
-					Obs: o.Obs.Scope("config", label),
+					Obs:       o.Obs.Scope("config", label),
+					Heartbeat: o.Heartbeat,
 				})
 				if err != nil {
 					return nil, err
@@ -221,7 +226,8 @@ func Fig6(o Options) (*report.Table, error) {
 						Arch: m, N: nm[0], M: nm[1], KeyBits: 32, ValBits: 32,
 						TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-						Obs: o.Obs.Scope("config", label),
+						Obs:       o.Obs.Scope("config", label),
+						Heartbeat: o.Heartbeat,
 					})
 					if err != nil {
 						return nil, err
@@ -276,7 +282,8 @@ func Fig5Grid(pattern workload.Pattern, o Options) (*report.Grid, error) {
 						Arch: m, N: n, M: mm, KeyBits: 32, ValBits: 32,
 						TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 						Pattern: pattern, Queries: o.Queries, Seed: o.Seed,
-						Obs: o.Obs.Scope("config", label),
+						Obs:       o.Obs.Scope("config", label),
+						Heartbeat: o.Heartbeat,
 					})
 					if err != nil {
 						return cell{}, err

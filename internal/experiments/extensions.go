@@ -50,6 +50,7 @@ func SplitBucket(o Options) (*report.Table, error) {
 						Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
 						Approaches: []core.Approach{core.Horizontal},
 						Obs:        o.Obs.Scope("config", label),
+						Heartbeat:  o.Heartbeat,
 					})
 					if err != nil {
 						return nil, err
@@ -102,7 +103,8 @@ func MixedWorkload(o Options) (*report.Table, error) {
 					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
 					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-					Obs: o.Obs.Scope("config", label),
+					Obs:       o.Obs.Scope("config", label),
+					Heartbeat: o.Heartbeat,
 				}, uf)
 				if err != nil {
 					return nil, err
@@ -151,7 +153,8 @@ func AMACStudy(o Options) (*report.Table, error) {
 					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32, WithAMAC: true,
 					TableBytes: sz, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-					Obs: o.Obs.Scope("config", jobLabel),
+					Obs:       o.Obs.Scope("config", jobLabel),
+					Heartbeat: o.Heartbeat,
 				})
 				if err != nil {
 					return nil, err
@@ -203,7 +206,8 @@ func EmergingArchitectures(o Options) (*report.Table, error) {
 					Arch: m, N: 2, M: 4, KeyBits: 32, ValBits: 32,
 					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-					Obs: o.Obs.Scope("config", label+" hor"),
+					Obs:       o.Obs.Scope("config", label+" hor"),
+					Heartbeat: o.Heartbeat,
 				})
 				if err != nil {
 					return nil, err
@@ -212,7 +216,8 @@ func EmergingArchitectures(o Options) (*report.Table, error) {
 					Arch: m, N: 3, M: 1, KeyBits: 32, ValBits: 32,
 					TableBytes: 1 << 20, LoadFactor: 0.9, HitRate: 0.9,
 					Pattern: workload.Uniform, Queries: o.Queries, Seed: o.Seed,
-					Obs: o.Obs.Scope("config", label+" ver"),
+					Obs:       o.Obs.Scope("config", label+" ver"),
+					Heartbeat: o.Heartbeat,
 				})
 				if err != nil {
 					return nil, err

@@ -91,6 +91,7 @@ func FleetStudyPoint(nservers int, o FleetOptions) (memslap.FleetResults, error)
 
 	sim := des.New()
 	sim.Probe = col.SimProbe()
+	sim.Heartbeat = o.Heartbeat
 	fabric := netsim.New(sim, netsim.EDR())
 	fabric.Probe = col.NetProbe()
 	fabric.Faults = plan

@@ -11,6 +11,7 @@ import (
 	"simdhtbench/internal/memslap"
 	"simdhtbench/internal/netsim"
 	"simdhtbench/internal/obs"
+	"simdhtbench/internal/obs/prof"
 	"simdhtbench/internal/report"
 	"simdhtbench/internal/sweep"
 )
@@ -49,6 +50,10 @@ type KVSOptions struct {
 
 	// FaultSeed seeds the fault plan's RNG; 0 falls back to Seed.
 	FaultSeed int64
+
+	// Heartbeat, when non-nil, ticks once per dispatched DES event —
+	// periodic stderr progress for long runs, never in deterministic output.
+	Heartbeat *obs.Heartbeat
 }
 
 func (o KVSOptions) withDefaults() KVSOptions {
@@ -111,6 +116,7 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 	}
 	sim := des.New()
 	sim.Probe = col.SimProbe()
+	sim.Heartbeat = o.Heartbeat
 	fabric := netsim.New(sim, netsim.EDR())
 	fabric.Probe = col.NetProbe()
 	fabric.Faults = plan
@@ -140,6 +146,18 @@ func runKVSWith(backend string, batch int, o KVSOptions, etc bool) (memslap.Resu
 
 	srv := kvs.NewServer(sim, arch.SkylakeClusterB(), o.Workers, maxBatch, index, store)
 	srv.Probe = col.ServerProbe()
+	if pr := col.Profiler("us"); pr != nil {
+		// Attribute worker-pool queueing delay under server/queue in the
+		// cycle account. The hook runs on the single DES goroutine that owns
+		// this job's scope profiler, so the accumulation order — and hence
+		// the folded output — is deterministic.
+		h := pr.Child(pr.Child(prof.Root, "server"), "queue")
+		srv.Workers.OnWait = func(seconds float64) {
+			v := seconds * 1e6
+			pr.AddSelf(h, v)
+			pr.AddTotal(v)
+		}
+	}
 	if plan != nil {
 		srv.Faults = plan.ForServer(0)
 		srv.FaultProbe = faultProbe
@@ -312,6 +330,7 @@ func ClusterStudy(o KVSOptions) (*report.Table, error) {
 			Label: fmt.Sprintf("cluster s=%d b=%d", pt.nservers, pt.batch),
 			Run: func() (memslap.ClusterResults, error) {
 				sim := des.New()
+				sim.Heartbeat = o.Heartbeat
 				fabric := netsim.New(sim, netsim.EDR())
 				ring, err := kvs.NewRing(pt.nservers, 0)
 				if err != nil {

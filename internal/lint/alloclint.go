@@ -46,6 +46,11 @@ var AllocLint = &Analyzer{
 
 const obsPkgPath = "simdhtbench/internal/obs"
 
+// obsProfPkgPath is carved back INTO scope: unlike the probes, the cycle
+// accounting in internal/obs/prof is called from charged hot paths whenever a
+// profiler is attached, so its steady state must stay allocation-free.
+const obsProfPkgPath = "simdhtbench/internal/obs/prof"
+
 const hotpathPrefix = "//lint:hotpath"
 
 func runAllocLint(pass *Pass) {
@@ -85,6 +90,9 @@ func runAllocLint(pass *Pass) {
 	}
 
 	reach := g.ReachableFrom(roots, func(e *CGEdge) bool {
+		if inScope(e.Callee.Pkg.Path, obsProfPkgPath) {
+			return true // profiler accumulation runs on charged hot paths
+		}
 		if inScope(e.Callee.Pkg.Path, obsPkgPath) || e.IfacePkg == obsPkgPath {
 			return false // probe dispatch: opt-in observability, not hot
 		}

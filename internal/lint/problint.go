@@ -38,7 +38,9 @@ var ProbLint = &Analyzer{
 
 func runProbLint(pass *Pass) {
 	for _, pkg := range pass.Module.Pkgs {
-		if inScope(pkg.Path, obsPkgPath) {
+		// internal/obs implements the probes and is exempt, but its prof
+		// subpackage is a probe *consumer*-style hot path and stays in scope.
+		if inScope(pkg.Path, obsPkgPath) && !inScope(pkg.Path, obsProfPkgPath) {
 			continue
 		}
 		for _, f := range pkg.Files {

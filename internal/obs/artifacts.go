@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteArtifacts writes the collector's trace JSON and metrics CSV to the
+// given paths (empty path = skip) through buffered writers, propagating
+// every render, flush and close error — satellite fix for the CLIs' old
+// unbuffered helpers, which merged errors less carefully and were duplicated
+// in both binaries. Each written artifact's bytes are hashed while writing;
+// the returned map ("trace"/"metrics" → "sha256:<hex>") feeds the run
+// manifest. A nil collector writes nothing.
+func WriteArtifacts(c *Collector, tracePath, metricsPath string) (map[string]string, error) {
+	if c == nil {
+		return nil, nil
+	}
+	digests := make(map[string]string)
+	if tracePath != "" {
+		d, err := writeArtifactFile(tracePath, c.Tracer.WriteJSON)
+		if err != nil {
+			return nil, err
+		}
+		digests["trace"] = d
+	}
+	if metricsPath != "" {
+		d, err := writeArtifactFile(metricsPath, c.Registry.WriteCSV)
+		if err != nil {
+			return nil, err
+		}
+		digests["metrics"] = d
+	}
+	return digests, nil
+}
+
+// writeArtifactFile renders through a buffered, hash-teed writer into path.
+// The error contract is strict: a failure in render, Flush or Close — each a
+// distinct way a full disk or dead descriptor can surface — is reported, and
+// the file is still closed on the error paths.
+func writeArtifactFile(path string, render func(io.Writer) error) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	digest, err := renderArtifact(f, render)
+	if err != nil {
+		f.Close()
+		return "", fmt.Errorf("obs: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("obs: closing %s: %w", path, err)
+	}
+	return digest, nil
+}
+
+// renderArtifact runs render into w via a buffer teed into a SHA-256 hash,
+// returning the digest of the exact bytes written. Flush errors (the point
+// where buffered write failures actually surface) are propagated.
+func renderArtifact(w io.Writer, render func(io.Writer) error) (string, error) {
+	h := sha256.New()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	if err := render(bw); err != nil {
+		return "", err
+	}
+	if err := bw.Flush(); err != nil {
+		return "", err
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifactsNilCollector(t *testing.T) {
+	digests, err := WriteArtifacts(nil, "ignored", "ignored")
+	if err != nil {
+		t.Fatalf("nil collector: %v", err)
+	}
+	if digests != nil {
+		t.Fatalf("nil collector returned digests %v", digests)
+	}
+}
+
+func TestWriteArtifactsDigestsMatchBytes(t *testing.T) {
+	col := NewCollector()
+	col.Counter("m_ticks").Add(3)
+	col.Instant("phase", 1.0, map[string]interface{}{"n": 1})
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.csv")
+	digests, err := WriteArtifacts(col, tracePath, metricsPath)
+	if err != nil {
+		t.Fatalf("WriteArtifacts: %v", err)
+	}
+	for name, path := range map[string]string{"trace": tracePath, "metrics": metricsPath} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("%s artifact is empty", name)
+		}
+		if got, want := digests[name], HashBytes(b); got != want {
+			t.Errorf("%s digest = %s, want %s (hash of file bytes)", name, got, want)
+		}
+	}
+}
+
+func TestWriteArtifactsSkipsEmptyPaths(t *testing.T) {
+	col := NewCollector()
+	digests, err := WriteArtifacts(col, "", "")
+	if err != nil {
+		t.Fatalf("WriteArtifacts: %v", err)
+	}
+	if len(digests) != 0 {
+		t.Fatalf("no paths requested but got digests %v", digests)
+	}
+}
+
+func TestWriteArtifactsCreateError(t *testing.T) {
+	col := NewCollector()
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "trace.json")
+	if _, err := WriteArtifacts(col, bad, ""); err == nil {
+		t.Fatal("expected error creating file in missing directory")
+	}
+}
+
+// failWriter errors after n successful writes — exercises the render and
+// flush error paths that an out-of-space disk would hit.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestRenderArtifactPropagatesWriteError(t *testing.T) {
+	col := NewCollector()
+	col.Counter("m_ticks").Add(1)
+	wantErr := errors.New("disk full")
+	_, err := renderArtifact(&failWriter{n: 0, err: wantErr}, col.Registry.WriteCSV)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("render error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestRenderArtifactPropagatesRenderError(t *testing.T) {
+	wantErr := errors.New("render failed")
+	_, err := renderArtifact(&strings.Builder{}, func(io.Writer) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("render error = %v, want %v", err, wantErr)
+	}
+}

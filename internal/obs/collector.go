@@ -1,5 +1,7 @@
 package obs
 
+import "simdhtbench/internal/obs/prof"
+
 // Collector bundles a Registry and a Tracer and carries the label/track
 // scope that instrumented code inherits. A nil *Collector is the "off"
 // state: Scope returns nil, the probe constructors return nil interfaces,
@@ -10,6 +12,14 @@ type Collector struct {
 
 	labels []Label // applied to every series created through this scope
 	track  string  // "a/b/" prefix applied to every track name
+
+	// path holds the scope values as discrete segments (track folds them
+	// into one "/"-joined string whose values may themselves contain "/",
+	// so it cannot be split back); the profiler set keys scopes by it.
+	path []string
+	// profSet, when non-nil, turns Profiler() on for this scope and every
+	// scope derived from it.
+	profSet *prof.Set
 }
 
 // NewCollector returns a collector with a fresh registry and tracer.
@@ -29,12 +39,46 @@ func (c *Collector) Scope(key, value string) *Collector {
 	labels := make([]Label, 0, len(c.labels)+1)
 	labels = append(labels, c.labels...)
 	labels = append(labels, Label{Key: key, Value: value})
+	path := make([]string, 0, len(c.path)+1)
+	path = append(path, c.path...)
+	path = append(path, value)
 	return &Collector{
 		Registry: c.Registry,
 		Tracer:   c.Tracer,
 		labels:   labels,
 		track:    c.track + value + "/",
+		path:     path,
+		profSet:  c.profSet,
 	}
+}
+
+// EnableProfiling attaches a cycle-account profiler set to this collector;
+// scopes derived afterwards inherit it and hand out per-scope profilers via
+// Profiler. A nil set (or nil collector) leaves profiling off.
+func (c *Collector) EnableProfiling(s *prof.Set) {
+	if c == nil {
+		return
+	}
+	c.profSet = s
+}
+
+// ProfilerSet returns the attached profiler set (nil when profiling is off).
+func (c *Collector) ProfilerSet() *prof.Set {
+	if c == nil {
+		return nil
+	}
+	return c.profSet
+}
+
+// Profiler returns this scope's cycle-account profiler, creating it in the
+// attached set on first use. It returns nil — the free "off" state the
+// engine and probes expect — when the collector is nil or profiling was
+// never enabled.
+func (c *Collector) Profiler(unit string) *prof.Profiler {
+	if c == nil || c.profSet == nil {
+		return nil
+	}
+	return c.profSet.Profiler(unit, c.path...)
 }
 
 // Labels returns this scope's labels plus any extras, for series creation.

@@ -1,6 +1,10 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+
+	"simdhtbench/internal/obs/prof"
+)
 
 // Probe interfaces implemented here and consumed by the instrumented
 // packages (engine, cache, des, netsim, kvs). The interfaces are declared
@@ -256,6 +260,14 @@ type netProbe struct {
 	messages *Counter
 	segments *Counter
 	bytes    *Counter
+
+	// Cycle-account attribution (nil when profiling is off): virtual wire
+	// time per hop, in microseconds, under net/<from->to>. The metric and
+	// trace emissions above are unchanged by profiling, so trace/metrics
+	// goldens stay byte-identical whether or not a profiler is attached.
+	prof *prof.Profiler
+	hNet prof.Handle
+	hops map[string]prof.Handle
 }
 
 // NetProbe returns a probe recording fabric traffic into this scope, or
@@ -264,12 +276,18 @@ func (c *Collector) NetProbe() NetProbe {
 	if c == nil {
 		return nil
 	}
-	return &netProbe{
+	p := &netProbe{
 		c:        c,
 		messages: c.Counter("net_messages_total"),
 		segments: c.Counter("net_segments_total"),
 		bytes:    c.Counter("net_bytes_total"),
 	}
+	if pr := c.Profiler("us"); pr != nil {
+		p.prof = pr
+		p.hNet = pr.Child(prof.Root, "net")
+		p.hops = make(map[string]prof.Handle)
+	}
+	return p
 }
 
 func (p *netProbe) MessageSent(from, to string, bytes, segments int, sendAt, arriveAt float64) {
@@ -280,6 +298,16 @@ func (p *netProbe) MessageSent(from, to string, bytes, segments int, sendAt, arr
 	args := map[string]interface{}{"bytes": bytes, "segments": segments}
 	p.c.Tracer.Instant(p.c.trackName("net"), "send "+name, sendAt*secondsToUs, args)
 	p.c.Tracer.Instant(p.c.trackName("net"), "recv "+name, arriveAt*secondsToUs, args)
+	if p.prof != nil {
+		h, ok := p.hops[name]
+		if !ok {
+			h = p.prof.Child(p.hNet, name)
+			p.hops[name] = h
+		}
+		v := (arriveAt - sendAt) * secondsToUs
+		p.prof.AddSelf(h, v)
+		p.prof.AddTotal(v)
+	}
 }
 
 type serverProbe struct {
@@ -288,6 +316,15 @@ type serverProbe struct {
 	keys    *Counter
 	found   *Counter
 	us      *Histogram
+
+	// Cycle-account attribution (nil when profiling is off): per-phase
+	// service microseconds under server/{pre,lookup,post} — the Fig. 11b
+	// breakdown as an account tree. Metric and trace emissions are
+	// unchanged by profiling.
+	prof    *prof.Profiler
+	hPre    prof.Handle
+	hLookup prof.Handle
+	hPost   prof.Handle
 }
 
 // ServerProbe returns a probe recording KVS request processing into this
@@ -298,13 +335,21 @@ func (c *Collector) ServerProbe() ServerProbe {
 	if c == nil {
 		return nil
 	}
-	return &serverProbe{
+	p := &serverProbe{
 		c:       c,
 		batches: c.Counter("server_batches_total"),
 		keys:    c.Counter("server_keys_total"),
 		found:   c.Counter("server_keys_found_total"),
 		us:      c.Histogram("server_batch_us", batchUsBounds),
 	}
+	if pr := c.Profiler("us"); pr != nil {
+		p.prof = pr
+		srv := pr.Child(prof.Root, "server")
+		p.hPre = pr.Child(srv, "pre")
+		p.hLookup = pr.Child(srv, "lookup")
+		p.hPost = pr.Child(srv, "post")
+	}
+	return p
 }
 
 func (p *serverProbe) Batch(worker int, start, pre, lookup, post float64, keys, found int) {
@@ -320,6 +365,12 @@ func (p *serverProbe) Batch(worker int, start, pre, lookup, post float64, keys, 
 	p.c.Tracer.Span(trackName, "pre", ts, pre*secondsToUs, nil)
 	p.c.Tracer.Span(trackName, "lookup", ts+pre*secondsToUs, lookup*secondsToUs, nil)
 	p.c.Tracer.Span(trackName, "post", ts+(pre+lookup)*secondsToUs, post*secondsToUs, nil)
+	if p.prof != nil {
+		p.prof.AddSelf(p.hPre, pre*secondsToUs)
+		p.prof.AddSelf(p.hLookup, lookup*secondsToUs)
+		p.prof.AddSelf(p.hPost, post*secondsToUs)
+		p.prof.AddTotal(total * secondsToUs)
+	}
 }
 
 type faultProbe struct {

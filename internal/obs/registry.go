@@ -292,6 +292,57 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
+// MetricPoint is one rendered metric value — the exact row WriteCSV would
+// emit, as a structured record. Run manifests embed the snapshot so obsdiff
+// can compare two runs metric by metric without re-parsing CSV.
+type MetricPoint struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"` // "k=v;k=v", as in the CSV column
+	Field  string `json:"field,omitempty"`  // histogram field (leN/le+Inf/count/sum)
+	Value  string `json:"value"`            // formatted exactly as WriteCSV renders it
+}
+
+// Key returns the identity of the point (everything but the value), the join
+// key obsdiff matches old and new snapshots on.
+func (p MetricPoint) Key() string {
+	return p.Kind + " " + p.Name + "{" + p.Labels + "}" + p.Field
+}
+
+// csvLabels renders a canonical label string the way the CSV column does:
+// braces stripped, ';' between pairs.
+func csvLabels(labels string) string {
+	labels = strings.TrimPrefix(strings.TrimSuffix(labels, "}"), "{")
+	return strings.ReplaceAll(labels, ",", ";")
+}
+
+// Snapshot returns every rendered metric value in WriteCSV's row order with
+// WriteCSV's exact label transformation and value formatting, so a snapshot
+// and the CSV artifact can never disagree.
+func (r *Registry) Snapshot() []MetricPoint {
+	var out []MetricPoint
+	add := func(kind, name, labels, field, value string) {
+		out = append(out, MetricPoint{Kind: kind, Name: name, Labels: csvLabels(labels), Field: field, Value: value})
+	}
+	for _, s := range r.sortedSeries() {
+		switch s.kind {
+		case kindCounter:
+			add("counter", s.name, s.labels, "", strconv.FormatUint(s.counter.Value(), 10))
+		case kindGauge:
+			add("gauge", s.name, s.labels, "", formatValue(s.gauge.Value()))
+		case kindHistogram:
+			h := s.hist
+			for i, b := range h.bounds {
+				add("histogram", s.name, s.labels, boundName(b), strconv.FormatUint(h.buckets[i].Load(), 10))
+			}
+			add("histogram", s.name, s.labels, "le+Inf", strconv.FormatUint(h.buckets[len(h.bounds)].Load(), 10))
+			add("histogram", s.name, s.labels, "count", strconv.FormatUint(h.Count(), 10))
+			add("histogram", s.name, s.labels, "sum", formatValue(h.Sum()))
+		}
+	}
+	return out
+}
+
 // WriteCSV renders the registry as CSV with a fixed header. Label strings
 // use ';' between pairs so the cells never need quoting:
 //

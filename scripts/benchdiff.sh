@@ -25,6 +25,13 @@ OLD=$1
 NEW=$2
 THRESH=${3:-0.20}
 
+# Run manifests (cmd/*bench -manifest output) carry a "tool" field that bench
+# snapshots never do; delegate those to obsdiff, which knows how to compare
+# config, metrics and the cycle account with thresholds.
+if grep -q '"tool"' "$OLD" 2>/dev/null; then
+    exec ${GO:-go} run ./cmd/obsdiff -rel "$THRESH" "$OLD" "$NEW"
+fi
+
 awk -v thresh="$THRESH" -v newfile="$NEW" '
 function field(s, key,    re, v) {
     re = "\"" key "\":[-+0-9.eE]+"

@@ -46,6 +46,23 @@ $GO run ./cmd/kvsbench -items 2000 -workers 2 -clients 2 -requests 20 \
 diff "$tmp/fig11a.json" internal/experiments/testdata/obs_fig11a_trace.golden.json
 diff "$tmp/fig11a.csv" internal/experiments/testdata/obs_fig11a_metrics.golden.csv
 
+# Profiler smoke: two identical -profile cycles runs must produce
+# byte-identical folded cycle accounts on stdout, and obsdiff must report
+# zero delta between their run manifests (wall-clock fields are ignored by
+# design). Both manifests and folded stacks stay in the scratch dir for
+# inspection alongside lint.json.
+echo "==> profiler smoke (-profile cycles + obsdiff)"
+run_prof() {
+    $GO run ./cmd/simdhtbench -queries 400 -seed 1 -parallel "$1" \
+        -profile cycles -manifest "$2" fig7a > "$3" 2>/dev/null
+}
+run_prof 1 "$tmp/run1.json" "$tmp/folded1.txt"
+run_prof 1 "$tmp/run2.json" "$tmp/folded2.txt"
+run_prof 4 "$tmp/run4.json" "$tmp/folded4.txt"
+diff "$tmp/folded1.txt" "$tmp/folded2.txt"
+diff "$tmp/folded1.txt" "$tmp/folded4.txt" # cycle account is -parallel invariant
+$GO run ./cmd/obsdiff "$tmp/run1.json" "$tmp/run2.json" >/dev/null
+
 # Fault-injection smoke: the fault-sweep experiment under an armed plan must
 # reproduce its goldens byte-for-byte — table, metrics CSV and trace JSON —
 # exactly as the deterministic-faults golden test pins them.
