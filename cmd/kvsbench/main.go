@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	kvsbench [flags] [fig11a|fig11b|etc|cluster|fleet|fault-sweep|single|all]
+//	kvsbench [flags] [fig11a|fig11b|etc|cluster|fleet|overload|fault-sweep|single|all]
 //
 // `single` runs one backend/batch combination (see -backend / -batch) and
 // prints the full result line.
@@ -15,6 +15,13 @@
 // quorum writes, replica failover, read-repair and fault-driven membership
 // churn (rebalance storms), swept over -fleet-sizes. Without -faults it uses
 // a built-in rolling-failure plan.
+//
+// `overload` (also reachable as `kvsbench -overload`) runs the metastable-
+// overload study: it measures the fleet's closed-loop capacity, then sweeps
+// open-loop offered load across -overload-mults multiples of it twice —
+// with the overload controls off (timeout/retry only, the configuration
+// that collapses) and on (admission-bounded queues with queue deadlines,
+// retry budgets and hedged reads, derived from the measured capacity).
 //
 // Fault injection: -faults arms a deterministic fault plan (message
 // drop/dup/delay on the fabric, crash/slowdown windows and insert pressure
@@ -76,9 +83,13 @@ func main() {
 
 		fleetCmd    = flag.Bool("fleet", false, "run the fleet-scale replication study (same as the `fleet` command)")
 		fleetSizes  = flag.String("fleet-sizes", "3,8,16,32,64", "fleet: comma-separated server counts")
-		replication = flag.Int("replication", 3, "fleet: replica-set width R (clamped to each fleet size)")
+		replication = flag.Int("replication", 3, "fleet: replica-set width R (clamped to each fleet size); overload: replica width (default 2 there)")
 		arrivalRate = flag.Float64("arrival-rate", 2e5, "fleet: aggregate open-loop Multi-Get arrival rate (requests/s of virtual time)")
 		writeFrac   = flag.Float64("write-frac", 0.05, "fleet: fraction of requests issued as quorum writes")
+
+		overloadCmd     = flag.Bool("overload", false, "run the metastable-overload study (same as the `overload` command)")
+		overloadServers = flag.Int("overload-servers", 4, "overload: fleet width")
+		overloadMults   = flag.String("overload-mults", "0.5,0.75,1,1.5,2", "overload: comma-separated offered-load multipliers of measured capacity")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -140,12 +151,28 @@ func main() {
 			args = args[:1] // bare `kvsbench -fleet` runs only the fleet study
 		}
 	}
+	if *overloadCmd {
+		args = append([]string{"overload"}, args...)
+		if len(args) == 2 && args[1] == "all" && flag.NArg() == 0 {
+			args = args[:1] // bare `kvsbench -overload` runs only the overload study
+		}
+	}
 	fleetOpts := experiments.FleetOptions{
 		KVSOptions:    opts,
 		FleetSizes:    parseBatches(*fleetSizes),
 		Replication:   *replication,
 		ArrivalRate:   *arrivalRate,
 		WriteFraction: *writeFrac,
+	}
+	overloadRepl := *replication
+	if overloadRepl > 2 && !isFlagSet("replication") {
+		overloadRepl = 0 // overload default R=2 unless -replication given
+	}
+	overloadOpts := experiments.OverloadOptions{
+		KVSOptions:  opts,
+		Servers:     *overloadServers,
+		Replication: overloadRepl,
+		Multipliers: parseMults(*overloadMults),
 	}
 	for _, cmd := range args {
 		switch cmd {
@@ -176,6 +203,10 @@ func main() {
 			t, err := experiments.FleetStudy(fleetOpts)
 			check(err)
 			emit(t, *csv)
+		case "overload":
+			t, err := experiments.OverloadStudy(overloadOpts)
+			check(err)
+			emit(t, *csv)
 		case "fault-sweep":
 			t, err := experiments.FaultSweep(opts)
 			check(err)
@@ -187,7 +218,7 @@ func main() {
 			fmt.Fprintf(tablesTo, "  phases per batch: pre=%.2fus lookup=%.2fus post=%.2fus (util %.2f)\n",
 				res.Breakdown.Pre*1e6, res.Breakdown.Lookup*1e6, res.Breakdown.Post*1e6, res.WorkerUtil)
 		default:
-			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, fleet, fault-sweep, single, all)", cmd))
+			fatal(fmt.Errorf("unknown command %q (want fig11a, fig11b, etc, cluster, fleet, overload, fault-sweep, single, all)", cmd))
 		}
 	}
 	digests, err := obs.WriteArtifacts(col, *traceOut, *metricsOut)
@@ -226,6 +257,33 @@ func printSweepStats(s *sweep.Stats) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// isFlagSet reports whether the named flag was given explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func parseMults(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("invalid load multiplier %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func parseBatches(s string) []int {

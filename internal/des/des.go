@@ -11,10 +11,17 @@
 package des
 
 import (
+	"errors"
 	"fmt"
 
 	"simdhtbench/internal/obs"
 )
+
+// ErrQueueFull is the typed rejection returned by Resource.Offer when the
+// resource is saturated and its wait queue already holds MaxQueue requests.
+// It is the admission-control signal: callers turn it into a cheap reject
+// response instead of queueing work that would be served too late to matter.
+var ErrQueueFull = errors.New("des: resource queue full")
 
 // Sim is the event scheduler. The zero value is not usable; call New.
 type Sim struct {
@@ -197,9 +204,16 @@ type Resource struct {
 	// cycle accounting uses to attribute server queueing delay.
 	OnWait func(seconds float64)
 
+	// Admission control (SetMaxQueue): Offer rejects once the wait queue
+	// holds maxQueue requests. 0 means unbounded — the default, which keeps
+	// Acquire-only users (every pre-overload experiment) byte-identical.
+	maxQueue int
+
 	// Stats.
 	grants    uint64
 	queuedCum uint64
+	rejected  uint64
+	queueHW   int
 	busyTime  float64
 	lastTick  float64
 }
@@ -229,6 +243,35 @@ func (r *Resource) Acquire(fn func()) {
 	}
 	r.queuedCum++
 	r.queue = append(r.queue, waiter{fn: fn, at: r.sim.Now()})
+	if len(r.queue) > r.queueHW {
+		r.queueHW = len(r.queue)
+	}
+}
+
+// SetMaxQueue bounds the wait queue at n requests for Offer; n <= 0 restores
+// the unbounded default. Acquire is never bounded — only Offer rejects — so
+// arming a bound cannot change the behaviour of Acquire-only callers.
+func (r *Resource) SetMaxQueue(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.maxQueue = n
+}
+
+// MaxQueue returns the configured admission bound (0 = unbounded).
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// Offer is Acquire with admission control: if the resource is saturated and
+// the wait queue is at MaxQueue, it returns ErrQueueFull without scheduling
+// anything; otherwise it behaves exactly like Acquire and returns nil. With
+// no bound configured Offer never rejects.
+func (r *Resource) Offer(fn func()) error {
+	if r.maxQueue > 0 && r.inUse >= r.cap && len(r.queue) >= r.maxQueue {
+		r.rejected++
+		return ErrQueueFull
+	}
+	r.Acquire(fn)
+	return nil
 }
 
 // Release returns a unit and grants the longest-waiting request, if any.
@@ -266,6 +309,12 @@ func (r *Resource) Grants() uint64 { return r.grants }
 
 // EverQueued returns how many acquisitions had to wait.
 func (r *Resource) EverQueued() uint64 { return r.queuedCum }
+
+// Rejected returns how many Offers were refused with ErrQueueFull.
+func (r *Resource) Rejected() uint64 { return r.rejected }
+
+// QueueHighWater returns the maximum wait-queue depth ever observed.
+func (r *Resource) QueueHighWater() int { return r.queueHW }
 
 // Utilization returns average busy units divided by capacity since t=0.
 func (r *Resource) Utilization() float64 {

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -220,6 +221,112 @@ func TestResourceOnWaitReportsQueueDelay(t *testing.T) {
 	}
 	if waits[0] != 3 {
 		t.Errorf("queue wait = %v, want 3", waits[0])
+	}
+}
+
+func TestOfferUnboundedNeverRejects(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if err := r.Offer(func() {
+			granted++
+			s.After(1, r.Release)
+		}); err != nil {
+			t.Fatalf("unbounded Offer rejected: %v", err)
+		}
+	}
+	s.Run()
+	if granted != 10 {
+		t.Errorf("granted = %d, want 10", granted)
+	}
+	if r.Rejected() != 0 {
+		t.Errorf("rejected = %d, want 0", r.Rejected())
+	}
+}
+
+func TestOfferRejectsAtMaxQueue(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.SetMaxQueue(2)
+	granted := 0
+	take := func() {
+		granted++
+		s.After(1, r.Release)
+	}
+	// One holder + two queued fill the bound; the 4th and 5th are shed.
+	var errs []error
+	for i := 0; i < 5; i++ {
+		errs = append(errs, r.Offer(take))
+	}
+	for i, err := range errs[:3] {
+		if err != nil {
+			t.Fatalf("Offer %d rejected below bound: %v", i, err)
+		}
+	}
+	for i, err := range errs[3:] {
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("Offer %d = %v, want ErrQueueFull", 3+i, err)
+		}
+	}
+	s.Run()
+	if granted != 3 {
+		t.Errorf("granted = %d, want 3", granted)
+	}
+	if r.Rejected() != 2 {
+		t.Errorf("Rejected = %d, want 2", r.Rejected())
+	}
+	if r.QueueHighWater() != 2 {
+		t.Errorf("QueueHighWater = %d, want 2", r.QueueHighWater())
+	}
+}
+
+func TestOfferAdmitsAgainAfterDrain(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.SetMaxQueue(1)
+	served := 0
+	take := func() {
+		served++
+		s.After(1, r.Release)
+	}
+	if err := r.Offer(take); err != nil { // holder
+		t.Fatal(err)
+	}
+	if err := r.Offer(take); err != nil { // queued (at bound)
+		t.Fatal(err)
+	}
+	if err := r.Offer(take); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Offer at full queue = %v, want ErrQueueFull", err)
+	}
+	// After the queue drains, admission opens up again.
+	s.At(5, func() {
+		if err := r.Offer(take); err != nil {
+			t.Errorf("Offer after drain rejected: %v", err)
+		}
+	})
+	s.Run()
+	if served != 3 {
+		t.Errorf("served = %d, want 3", served)
+	}
+}
+
+func TestSetMaxQueueZeroRestoresUnbounded(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.SetMaxQueue(1)
+	r.SetMaxQueue(0)
+	if r.MaxQueue() != 0 {
+		t.Fatalf("MaxQueue = %d, want 0", r.MaxQueue())
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.Offer(func() { s.After(1, r.Release) }); err != nil {
+			t.Fatalf("Offer with bound cleared rejected: %v", err)
+		}
+	}
+	s.Run()
+	if r.QueueHighWater() != 3 {
+		t.Errorf("QueueHighWater = %d, want 3", r.QueueHighWater())
 	}
 }
 

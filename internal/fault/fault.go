@@ -46,6 +46,12 @@ const (
 // backoffCap bounds the exponential backoff at backoffCap×Backoff.
 const backoffCap = 8
 
+// BudgetRefillPerSuccess is the token-bucket refill credited to a client's
+// retry budget by each fully-served request: ten successes earn one retry,
+// so sustained retry traffic is capped at ~10% of goodput (the classic
+// retry-budget rule) once the initial burst allowance is spent.
+const BudgetRefillPerSuccess = 0.1
+
 // Spec is a declarative fault configuration. The zero Spec means "no
 // faults" and compiles to a nil Plan. All durations are virtual seconds.
 type Spec struct {
@@ -78,6 +84,13 @@ type Spec struct {
 	Timeout float64 // per-request virtual-time timeout
 	Retries int     // bounded retries after the first attempt
 	Backoff float64 // base backoff between retries
+
+	// Overload controls. Unlike the knobs above these are protections, not
+	// faults; zero values leave each control off.
+	QueueDepth    int     // qdepth=: server admission bound (queued batches per worker pool)
+	QueueDeadline float64 // qdeadline=: shed queued work older than this at grant time
+	RetryBudget   int     // budget=: per-client retry token-bucket capacity (0 = unlimited)
+	Hedge         float64 // hedge=: hedged-read delay for replicated reads (0 = off)
 }
 
 // Enabled reports whether the spec requests anything at all.
@@ -149,8 +162,22 @@ func ParseSpec(s string) (Spec, error) {
 			}
 		case "backoff":
 			out.Backoff, err = parseDur(key, val)
+		case "qdepth":
+			out.QueueDepth, err = strconv.Atoi(val)
+			if err != nil || out.QueueDepth <= 0 {
+				err = fmt.Errorf("fault: qdepth wants a positive queue depth, got %q", val)
+			}
+		case "qdeadline":
+			out.QueueDeadline, err = parseDur(key, val)
+		case "budget":
+			out.RetryBudget, err = strconv.Atoi(val)
+			if err != nil || out.RetryBudget <= 0 {
+				err = fmt.Errorf("fault: budget wants a positive token count, got %q", val)
+			}
+		case "hedge":
+			out.Hedge, err = parseDur(key, val)
 		default:
-			return Spec{}, fmt.Errorf("fault: unknown key %q (want drop, dup, delayp, delay, crash, slow, pressure, timeout, retries, backoff)", key)
+			return Spec{}, fmt.Errorf("fault: unknown key %q (want drop, dup, delayp, delay, crash, slow, pressure, timeout, retries, backoff, qdepth, qdeadline, budget, hedge)", key)
 		}
 		if err != nil {
 			return Spec{}, err
@@ -231,6 +258,18 @@ func (s Spec) String() string {
 	}
 	if s.Backoff > 0 {
 		add("backoff=%s", durStr(s.Backoff))
+	}
+	if s.QueueDepth > 0 {
+		add("qdepth=%d", s.QueueDepth)
+	}
+	if s.QueueDeadline > 0 {
+		add("qdeadline=%s", durStr(s.QueueDeadline))
+	}
+	if s.RetryBudget > 0 {
+		add("budget=%d", s.RetryBudget)
+	}
+	if s.Hedge > 0 {
+		add("hedge=%s", durStr(s.Hedge))
 	}
 	return strings.Join(parts, ",")
 }
@@ -440,4 +479,52 @@ func (p *Plan) BackoffFor(attempt int) float64 {
 		base = p.spec.Backoff * backoffCap
 	}
 	return base * (1 + 0.5*p.rng.Float64())
+}
+
+// QueueDepth returns the server admission bound (queued batches per worker
+// pool), 0 when admission control is off.
+func (p *Plan) QueueDepth() int {
+	if p == nil {
+		return 0
+	}
+	return p.spec.QueueDepth
+}
+
+// QueueDeadline returns the queue-staleness deadline (seconds): queued work
+// older than this is shed at grant time instead of served late. 0 = off.
+func (p *Plan) QueueDeadline() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.spec.QueueDeadline
+}
+
+// RetryBudget returns the per-client retry token-bucket capacity, 0 when
+// retries are unbudgeted.
+func (p *Plan) RetryBudget() int {
+	if p == nil {
+		return 0
+	}
+	return p.spec.RetryBudget
+}
+
+// HedgeDelay returns the hedged-read delay (seconds): how long a replicated
+// read waits before issuing a duplicate to the next replica. 0 = no hedging.
+func (p *Plan) HedgeDelay() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.spec.Hedge
+}
+
+// OverloadArmed reports whether any overload control (admission bound,
+// queue deadline, retry budget, hedging) is configured — the gate for
+// registering overload probes, mirroring how FaultProbe registration is
+// gated on an armed plan so control-free goldens stay untouched.
+func (p *Plan) OverloadArmed() bool {
+	if p == nil {
+		return false
+	}
+	s := p.spec
+	return s.QueueDepth > 0 || s.QueueDeadline > 0 || s.RetryBudget > 0 || s.Hedge > 0
 }

@@ -30,6 +30,58 @@ func TestParseSpecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseSpecOverloadKeysRoundTrip(t *testing.T) {
+	in := "timeout=80µs,retries=2,backoff=20µs,qdepth=32,qdeadline=60µs,budget=10,hedge=25µs"
+	s, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.QueueDepth != 32 || s.RetryBudget != 10 {
+		t.Errorf("counts: %+v", s)
+	}
+	if math.Abs(s.QueueDeadline-60e-6) > 1e-12 || math.Abs(s.Hedge-25e-6) > 1e-12 {
+		t.Errorf("durations: %+v", s)
+	}
+	if got := s.String(); got != in {
+		t.Errorf("String() = %q, want canonical %q", got, in)
+	}
+	s2, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if s2 != s {
+		t.Errorf("round trip: %q -> %+v != %+v", s.String(), s2, s)
+	}
+
+	p := s.NewPlan(3)
+	if p.QueueDepth() != 32 || p.RetryBudget() != 10 {
+		t.Errorf("plan counts: qdepth=%d budget=%d", p.QueueDepth(), p.RetryBudget())
+	}
+	if p.QueueDeadline() != s.QueueDeadline || p.HedgeDelay() != s.Hedge {
+		t.Errorf("plan durations: qdeadline=%g hedge=%g", p.QueueDeadline(), p.HedgeDelay())
+	}
+	if !p.OverloadArmed() {
+		t.Error("OverloadArmed() = false with every control set")
+	}
+	var nilPlan *Plan
+	if nilPlan.QueueDepth() != 0 || nilPlan.QueueDeadline() != 0 ||
+		nilPlan.RetryBudget() != 0 || nilPlan.HedgeDelay() != 0 || nilPlan.OverloadArmed() {
+		t.Error("nil plan must answer 'no overload controls'")
+	}
+	if faultsOnly := mustParse(t, "drop=0.1,timeout=10µs"); faultsOnly.NewPlan(1).OverloadArmed() {
+		t.Error("OverloadArmed() = true for a faults-only plan")
+	}
+}
+
+func mustParse(t *testing.T, s string) Spec {
+	t.Helper()
+	spec, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
 func TestParseSpecEmptyAndErrors(t *testing.T) {
 	s, err := ParseSpec("")
 	if err != nil || s.Enabled() {
@@ -44,6 +96,11 @@ func TestParseSpecEmptyAndErrors(t *testing.T) {
 		"pressure=0@1ms",     // non-positive items
 		"retries=-1",
 		"timeout=-5us",
+		"qdepth=0",     // admission bound must be positive
+		"qdepth=lots",  // not a number
+		"qdeadline=0s", // non-positive duration
+		"budget=-3",    // token count must be positive
+		"hedge=banana", // not a duration
 		"bogus=1",
 	} {
 		if _, err := ParseSpec(bad); err == nil {
@@ -176,6 +233,54 @@ func TestBackoffCappedExponential(t *testing.T) {
 			t.Errorf("attempt %d: backoff %g not growing from %g", attempt, b, prev)
 		}
 		prev = b
+	}
+}
+
+// TestBackoffForCapAndJitterSequence pins the exact backoff sequence a
+// fresh plan produces across the backoffCap boundary. The base (10µs)
+// doubles per retry until it would exceed 8×base, so attempts 1–4 grow
+// 1x,2x,4x,8x and attempts 5+ stay clamped at 8x; the multiplicative
+// jitter draws from the plan's seeded stream in attempt order, so the
+// whole sequence is a deterministic function of (spec, seed). The exact
+// float64 values below were generated from this plan at seed 9 — any
+// change to the doubling loop, the clamp, the jitter range or the RNG
+// stream order shows up as a bitwise mismatch.
+func TestBackoffForCapAndJitterSequence(t *testing.T) {
+	spec, err := ParseSpec("timeout=40µs,retries=12,backoff=10µs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.NewPlan(9)
+	base := spec.Backoff
+	want := []struct {
+		attempt int
+		backoff float64
+	}{
+		{1, 1.001823506686467e-05},
+		{2, 2.1012012176757454e-05},
+		{3, 5.045145786334364e-05},
+		{4, 0.0001096026093875341},
+		{5, 8.324901650688099e-05},
+		{6, 0.00010680110146461949},
+		{7, 0.00010099201030469701},
+		{8, 0.00010774060782912519},
+		{9, 0.00011009342775625357},
+		{10, 0.0001080859375763339},
+		{11, 9.43245499204695e-05},
+		{12, 9.51558420146737e-05},
+	}
+	for _, w := range want {
+		got := p.BackoffFor(w.attempt)
+		if got != w.backoff {
+			t.Errorf("attempt %d: backoff = %v, want %v", w.attempt, got, w.backoff)
+		}
+		// Structural invariants the pinned values encode: pre-cap attempts
+		// stay inside [2^(n-1), 1.5*2^(n-1)]×base, capped attempts inside
+		// [8, 12]×base — never growing past backoffCap again.
+		exp := math.Min(math.Pow(2, float64(w.attempt-1)), backoffCap)
+		if got < base*exp || got >= base*exp*1.5 {
+			t.Errorf("attempt %d: backoff %g outside [%g, %g)", w.attempt, got, base*exp, base*exp*1.5)
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec hammers the spec parser with arbitrary strings. For any
+// input the parser accepts, the canonical String rendering must re-parse
+// to the identical Spec value (String ∘ ParseSpec is idempotent): ParseSpec
+// only produces whole-nanosecond durations (time.ParseDuration semantics),
+// which durStr renders exactly, and %g renders float64 probabilities and
+// factors shortest-uniquely, so the round trip is bitwise. Inputs the
+// parser rejects must simply not panic.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"drop=0.05,dup=0.01,delayp=0.1,delay=5µs",
+		"crash=500µs:150µs,slow=2x@300µs:100µs,pressure=50@400µs",
+		"timeout=80us,retries=2,backoff=20us",
+		"qdepth=32,qdeadline=60µs,budget=10,hedge=25µs",
+		"drop=0.002,crash=5ms:1ms,timeout=100µs,retries=3,backoff=20µs,qdepth=8,qdeadline=100µs,budget=4,hedge=50µs",
+		"qdepth=0",
+		"budget=-1",
+		"hedge=1h",
+		"qdeadline=1.5ns",
+		" drop = 0.5 , timeout=1s ",
+		"slow=2.5x@1ms:10µs,delay=1ns",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			if spec != (Spec{}) {
+				t.Fatalf("ParseSpec(%q) errored but returned non-zero spec %+v", in, spec)
+			}
+			return
+		}
+		rendered := spec.String()
+		spec2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) ok, but canonical %q does not re-parse: %v", in, rendered, err)
+		}
+		if spec2 != spec {
+			t.Fatalf("round trip: %q -> %q -> %+v != %+v", in, rendered, spec2, spec)
+		}
+		// The canonical form is a fixed point: rendering again must not
+		// drift (a second render that differs would make scope labels
+		// depend on how many times a spec was round-tripped).
+		if again := spec2.String(); again != rendered {
+			t.Fatalf("String not canonical: %q -> %q", rendered, again)
+		}
+	})
+}

@@ -42,7 +42,18 @@ type MGetResult struct {
 	Found     int
 	RespBytes int
 	Breakdown PhaseBreakdown
+
+	// Rejected marks an overload shed: the server refused the batch
+	// (admission queue full, or queue deadline exceeded at grant) and sent
+	// a cheap error frame instead of values. Unlike a crash-window drop the
+	// client hears back immediately, so it can fail over to another replica
+	// without waiting out its timeout.
+	Rejected bool
 }
+
+// rejectRespBytes is the wire size of the shed-error frame: a response
+// header with a status code and no values.
+const rejectRespBytes = 16
 
 // Server is the RDMA-Memcached-style server: a pool of worker threads
 // processing Multi-Get batches against a shared item store and a pluggable
@@ -82,6 +93,12 @@ type Server struct {
 	PressureFailed   uint64 // pressure inserts that failed (full/collision)
 	pressureSeq      uint64 // deterministic ephemeral-key counter
 
+	// Overload-control stats (admission control + queue-deadline shedding;
+	// armed by the fault plan's qdepth=/qdeadline= keys). Accumulated across
+	// the whole run like the fault counters.
+	ShedQueueFull uint64 // batches rejected at admission (queue at qdepth)
+	ShedDeadline  uint64 // queued batches dropped at grant (waited > qdeadline)
+
 	// Probe, when non-nil, observes each processed batch with its phase
 	// breakdown (obs layer): one request span per batch on a per-worker
 	// track with pre/lookup/post children — Fig. 11b, but per request.
@@ -93,6 +110,11 @@ type Server struct {
 	// additionally non-nil, observes each injected fault.
 	Faults     *fault.Plan
 	FaultProbe obs.FaultProbe
+
+	// OverloadProbe, when non-nil, observes admission rejections and
+	// queue-deadline sheds; registered only for plans with overload
+	// controls armed (fault.Plan.OverloadArmed), like FaultProbe.
+	OverloadProbe obs.OverloadProbe
 }
 
 // NewServer builds a server with `workers` worker threads on the given
@@ -172,6 +194,13 @@ func (s *Server) Get(key []byte) ([]byte, bool) {
 // silently dropped — a dead server sends nothing back, and recovering is
 // the client protocol's job — and a slow window stretches the batch's
 // service time by the plan's factor.
+//
+// With overload controls armed (qdepth=/qdeadline= in the plan), the batch
+// instead passes admission control: a worker queue already at qdepth
+// rejects it immediately, and a queued batch that waited longer than
+// qdeadline is shed at grant time rather than served uselessly late. Both
+// sheds answer with a cheap Rejected result — unlike a crash drop, the
+// client hears back at once and can fail over without burning its timeout.
 func (s *Server) HandleMGet(keys [][]byte, done func(MGetResult)) {
 	if s.Faults.CrashedAt(s.Sim.Now()) {
 		s.CrashDrops++
@@ -180,7 +209,23 @@ func (s *Server) HandleMGet(keys [][]byte, done func(MGetResult)) {
 		}
 		return
 	}
-	s.Workers.Acquire(func() {
+	deadline := s.Faults.QueueDeadline()
+	arrived := s.Sim.Now()
+	grant := func() {
+		if deadline > 0 && s.Sim.Now()-arrived > deadline {
+			// Stale at grant: the client has given up (or is about to), so
+			// serving this batch would only burn worker time that fresh
+			// work needs. Releasing first lets the next waiter be granted
+			// — and shed in turn if it is stale too, draining a stale
+			// backlog at event speed instead of service speed.
+			s.ShedDeadline++
+			if s.OverloadProbe != nil {
+				s.OverloadProbe.DeadlineShed(s.Sim.Now()-arrived, s.Sim.Now())
+			}
+			s.Workers.Release()
+			done(MGetResult{Rejected: true, RespBytes: rejectRespBytes})
+			return
+		}
 		wi := s.freeEng[len(s.freeEng)-1]
 		s.freeEng = s.freeEng[:len(s.freeEng)-1]
 		res := s.processBatch(wi, keys)
@@ -197,7 +242,19 @@ func (s *Server) HandleMGet(keys [][]byte, done func(MGetResult)) {
 			s.Workers.Release()
 			done(res)
 		})
-	})
+	}
+	if qd := s.Faults.QueueDepth(); qd > 0 {
+		s.Workers.SetMaxQueue(qd)
+		if err := s.Workers.Offer(grant); err != nil {
+			s.ShedQueueFull++
+			if s.OverloadProbe != nil {
+				s.OverloadProbe.QueueFullShed(s.Sim.Now())
+			}
+			done(MGetResult{Rejected: true, RespBytes: rejectRespBytes})
+		}
+		return
+	}
+	s.Workers.Acquire(grant)
 }
 
 // processBatch serves a batch of any size by segmenting it into

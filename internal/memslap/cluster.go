@@ -84,8 +84,8 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 		return ClusterResults{}, err
 	}
 
-	var issue func(clientEP *netsim.Endpoint)
-	issue = func(clientEP *netsim.Endpoint) {
+	var issue func(clientEP *netsim.Endpoint, budget *retryBudget)
+	issue = func(clientEP *netsim.Endpoint, budget *retryBudget) {
 		if issued >= total {
 			return
 		}
@@ -126,7 +126,7 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 					srv.ResetStats()
 				}
 			}
-			issue(clientEP)
+			issue(clientEP, budget)
 		}
 
 		// Iterate sub-batches in server order (not map order) so the issue
@@ -139,6 +139,7 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 			s, sub := s, sub
 			sendMGet(sim, clientEP, serverEPs[s], servers[s], sub,
 				requestBytes(sub, cfg.RequestOverheadBytes), cfg.Faults, cfg.FaultProbe,
+				budget, cfg.OverloadProbe,
 				func(res kvs.MGetResult, ok bool, nRetries, nTimeouts int) {
 					reqRetries += nRetries
 					reqTimeouts += nTimeouts
@@ -160,7 +161,7 @@ func RunCluster(sim *des.Sim, fabric *netsim.Fabric, servers []*kvs.Server, ring
 		schedulePressure(sim, srv, cfg.FaultProbe, func() bool { return completed >= total })
 	}
 	for c := 0; c < cfg.Clients; c++ {
-		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)))
+		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)), newRetryBudget(cfg.Faults.RetryBudget()))
 	}
 	if err := runToCompletion(sim, total, func() int { return completed }); err != nil {
 		return ClusterResults{}, err

@@ -217,3 +217,86 @@ func TestRunClusterDegradedAccounting(t *testing.T) {
 		t.Errorf("identical faulty cluster runs diverged:\n%+v\n%+v", res, res2)
 	}
 }
+
+// TestMGetPartialErrorAccumulatesAcrossSubBatches pins MGet's error
+// aggregation when several sub-batches of one Multi-Get degrade at once:
+// two of three servers are crashed, so two sub-batches exhaust their
+// retries independently and the single returned *kvs.PartialError must
+// carry the merged Served/Missing split and the summed Retries/Timeouts of
+// both degraded protocols.
+func TestMGetPartialErrorAccumulatesAcrossSubBatches(t *testing.T) {
+	sim := des.New()
+	fabric := netsim.New(sim, netsim.EDR())
+	ring, err := kvs.NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*kvs.Server, 3)
+	for i := range servers {
+		space := mem.NewAddressSpace()
+		store := kvs.NewItemStore(space)
+		idx, err := kvs.NewVerticalIndex(space, 600, 64, int64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = kvs.NewServer(sim, arch.SkylakeClusterB(), 2, 64, idx, store)
+	}
+	keys, err := LoadCluster(servers, ring, 400, 20, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash servers 1 and 2 with a 99% duty cycle and advance past the
+	// always-healthy first period, so every attempt against either lands
+	// in a down window. Server 0 stays healthy.
+	const retries = 2
+	spec := mustSpec(t, "crash=10us:9900ns,timeout=5us,retries=2,backoff=1us")
+	servers[1].Faults = spec.NewPlan(1)
+	servers[2].Faults = spec.NewPlan(1)
+	sim.After(12e-6, func() {})
+	sim.Run()
+
+	batch := keys[:24]
+	wantOwned := map[int]int{}
+	for _, k := range batch {
+		wantOwned[ring.Owner(k)]++
+	}
+	if wantOwned[0] == 0 || wantOwned[1] == 0 || wantOwned[2] == 0 {
+		t.Fatalf("batch does not span all three servers: %v", wantOwned)
+	}
+
+	plan := spec.NewPlan(1)
+	values, err := MGet(sim, fabric, "client", servers, ring, batch, plan, nil)
+	if err == nil {
+		t.Fatal("MGet against two crashed servers reported silent full success")
+	}
+	var pe *kvs.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *kvs.PartialError", err)
+	}
+	if pe.Served != wantOwned[0] || pe.Missing != wantOwned[1]+wantOwned[2] {
+		t.Errorf("PartialError served/missing = %d/%d, want %d/%d",
+			pe.Served, pe.Missing, wantOwned[0], wantOwned[1]+wantOwned[2])
+	}
+	// Both degraded sub-batches run the full protocol independently: every
+	// attempt against a crashed server times out, so each contributes
+	// retries+1 timeouts and `retries` retries to the merged error.
+	if want := 2 * (retries + 1); pe.Timeouts != want {
+		t.Errorf("merged Timeouts = %d, want %d (two sub-batches x %d attempts)",
+			pe.Timeouts, want, retries+1)
+	}
+	if want := 2 * retries; pe.Retries != want {
+		t.Errorf("merged Retries = %d, want %d (two sub-batches x %d retries)",
+			pe.Retries, want, retries)
+	}
+	// The served subset aligns with ownership: healthy server's keys carry
+	// values, crashed servers' keys are nil.
+	for i, k := range batch {
+		if ring.Owner(k) == 0 && values[i] == nil {
+			t.Errorf("key %d owned by the healthy server came back nil", i)
+		}
+		if ring.Owner(k) != 0 && values[i] != nil {
+			t.Errorf("key %d owned by a crashed server came back non-nil", i)
+		}
+	}
+}

@@ -62,6 +62,12 @@ type Fleet struct {
 	KeysLost  uint64 // keys whose last live replica vanished (no donor)
 	Repairs   uint64 // read-repair writes acknowledged
 	Failovers uint64 // sub-batch retries rotated to the next replica
+
+	// Overload-control counters (armed by the fault plan's hedge=/budget=
+	// keys), copied into FleetResults.
+	Hedges       uint64 // hedged duplicate reads issued after the hedge delay
+	HedgeWins    uint64 // hedges whose response resolved keys before the primary
+	BudgetDenied uint64 // retries forgone because the client budget was empty
 }
 
 type repairKey struct {
@@ -324,6 +330,17 @@ type FleetResults struct {
 	Failovers    uint64
 	Writes       uint64 // quorum writes committed in the measured window
 	WritesFailed uint64
+
+	// Overload-control accounting (all zero unless the plan arms qdepth=,
+	// qdeadline=, budget= or hedge=). Server-side sheds are summed across
+	// the fleet; like the fault counters they accumulate over warm-up and
+	// measurement alike.
+	ShedQueueFull  uint64 // batches rejected at admission (queue at qdepth)
+	ShedDeadline   uint64 // queued batches shed at grant (waited > qdeadline)
+	Hedges         uint64 // hedged duplicate reads issued
+	HedgeWins      uint64 // hedges that resolved keys before the primary
+	BudgetDenied   uint64 // retries forgone on an empty client budget
+	QueueHighWater int    // max worker-queue depth observed on any server
 }
 
 // RunFleet drives the fleet: replicated reads with failover across replica
@@ -393,14 +410,14 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 	R := f.Replication
 	writeSeq := 0
 
-	var issueClosed func(clientEP *netsim.Endpoint)
+	var issueClosed func(clientEP *netsim.Endpoint, budget *retryBudget)
 
 	// startRead issues one replicated Multi-Get. Sub-batches go to each
 	// key's primary replica first; on timeout the unresolved keys rotate to
 	// their next replica rank (failover), bounded by the plan's retry
 	// budget. Per-key resolution makes duplicate and stale deliveries
 	// idempotent.
-	startRead := func(clientEP *netsim.Endpoint, seq int, closed bool) {
+	startRead := func(clientEP *netsim.Endpoint, budget *retryBudget, seq int, closed bool) {
 		sent := sim.Now()
 		batch := make([][]byte, cfg.BatchSize)
 		for i := range batch {
@@ -447,8 +464,17 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 				}
 			}
 			if closed {
-				issueClosed(clientEP)
+				issueClosed(clientEP, budget)
 			}
+		}
+
+		anyLive := func(pos []int) bool {
+			for _, p := range pos {
+				if !resolved[p] {
+					return true
+				}
+			}
+			return false
 		}
 
 		abandon := func(pos []int) {
@@ -500,39 +526,31 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 			}
 		}
 
-		var sendGroup func(target, rank, attempt int, pos []int)
-		sendGroup = func(target, rank, attempt int, pos []int) {
+		var sendGroup func(target, rank, attempt int, pos []int, hedged bool)
+		sendGroup = func(target, rank, attempt int, pos []int, hedged bool) {
 			sub := make([][]byte, len(pos))
 			for j, p := range pos {
 				sub[j] = batch[p]
 			}
 			reqBytes := requestBytes(sub, cfg.RequestOverheadBytes)
-			clientEP.Send(f.serverEPs[target], reqBytes, func() {
-				servers[target].HandleMGet(sub, func(res kvs.MGetResult) {
-					f.serverEPs[target].Send(clientEP, res.RespBytes, func() {
-						resolveServed(target, rank, pos, res)
-					})
-				})
-			})
-			if plan == nil {
-				return
-			}
-			sim.After(plan.Timeout(), func() {
-				live := false
-				for _, p := range pos {
-					if !resolved[p] {
-						live = true
-						break
-					}
-				}
-				if !live {
+			// rotate advances this group to the next replica rank. It is
+			// shared by the timeout and the rejected-response (server shed)
+			// paths; the flag keeps whichever fires second from rotating the
+			// same group twice. Every rotation must be covered by the
+			// client's retry budget: an empty bucket abandons instead of
+			// amplifying the overload that emptied it.
+			rotated := false
+			rotate := func() {
+				rotated = true
+				if attempt >= plan.MaxRetries() {
+					abandon(pos)
 					return
 				}
-				reqTimeouts++
-				if cfg.FaultProbe != nil {
-					cfg.FaultProbe.TimeoutFired(attempt, sim.Now())
-				}
-				if attempt >= plan.MaxRetries() {
+				if !budget.spend() {
+					f.BudgetDenied++
+					if cfg.OverloadProbe != nil {
+						cfg.OverloadProbe.BudgetDenied(sim.Now())
+					}
 					abandon(pos)
 					return
 				}
@@ -567,10 +585,92 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 					}
 					for s := 0; s < len(servers); s++ {
 						if len(perServer[s]) > 0 {
-							sendGroup(s, nrank, next, perServer[s])
+							sendGroup(s, nrank, next, perServer[s], false)
 						}
 					}
 				})
+			}
+			clientEP.Send(f.serverEPs[target], reqBytes, func() {
+				servers[target].HandleMGet(sub, func(res kvs.MGetResult) {
+					f.serverEPs[target].Send(clientEP, res.RespBytes, func() {
+						if res.Rejected {
+							// A shed is an explicit "try elsewhere": fail over
+							// now instead of burning the rest of the timeout.
+							// Hedge responses never rotate (the attempt they
+							// hedge owns recovery), and a group that already
+							// rotated or fully resolved ignores the shed.
+							if hedged || rotated || !anyLive(pos) {
+								return
+							}
+							if cfg.OverloadProbe != nil {
+								cfg.OverloadProbe.RejectedObserved(rank, sim.Now())
+							}
+							rotate()
+							return
+						}
+						if hedged && anyLive(pos) {
+							// The hedge arrived while keys were still open —
+							// it beat the attempt it was hedging.
+							f.HedgeWins++
+							if cfg.OverloadProbe != nil {
+								cfg.OverloadProbe.HedgeWon(rank, sim.Now())
+							}
+						}
+						resolveServed(target, rank, pos, res)
+					})
+				})
+			})
+			if plan == nil || hedged {
+				// Hedges carry no timeout and never re-hedge: the hedged
+				// attempt's own protocol owns recovery, so a lost hedge
+				// costs one duplicate request and nothing else.
+				return
+			}
+			if hd := plan.HedgeDelay(); hd > 0 && attempt == 0 {
+				// Deterministic hedged read: after the hedge delay, keys
+				// still unresolved get one duplicate read at the next
+				// replica rank. First response wins through the same
+				// per-key idempotent resolution failover uses; hedges spend
+				// no retry budget and count toward no retry bound.
+				sim.After(hd, func() {
+					if rotated || !anyLive(pos) {
+						return
+					}
+					hrank := rank + 1
+					perServer := make([][]int, len(servers))
+					any := false
+					for _, p := range pos {
+						if resolved[p] {
+							continue
+						}
+						owners := f.Ring.ReplicaOwners(batch[p], R, f.ownA)
+						t := owners[hrank%len(owners)]
+						perServer[t] = append(perServer[t], p)
+						any = true
+					}
+					if !any {
+						return
+					}
+					f.Hedges++
+					if cfg.OverloadProbe != nil {
+						cfg.OverloadProbe.HedgeFired(hrank, sim.Now())
+					}
+					for s := 0; s < len(servers); s++ {
+						if len(perServer[s]) > 0 {
+							sendGroup(s, hrank, attempt, perServer[s], true)
+						}
+					}
+				})
+			}
+			sim.After(plan.Timeout(), func() {
+				if rotated || !anyLive(pos) {
+					return
+				}
+				reqTimeouts++
+				if cfg.FaultProbe != nil {
+					cfg.FaultProbe.TimeoutFired(attempt, sim.Now())
+				}
+				rotate()
 			})
 		}
 
@@ -578,7 +678,7 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 		// sequence — and with it every fault-RNG draw — is deterministic.
 		for s := 0; s < len(servers); s++ {
 			if len(pos0[s]) > 0 {
-				sendGroup(s, 0, 0, pos0[s])
+				sendGroup(s, 0, 0, pos0[s], false)
 			}
 		}
 	}
@@ -586,7 +686,7 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 	// startWrite issues one quorum write: the value goes to all R replicas
 	// of a zipf-drawn key; the request completes at WriteQuorum acks (or
 	// degrades on timeout under an armed plan).
-	startWrite := func(clientEP *netsim.Endpoint, seq int, closed bool) {
+	startWrite := func(clientEP *netsim.Endpoint, budget *retryBudget, seq int, closed bool) {
 		sent := sim.Now()
 		writeSeq++
 		key := f.keys[zipf.Next()]
@@ -631,7 +731,7 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 				}
 			}
 			if closed {
-				issueClosed(clientEP)
+				issueClosed(clientEP, budget)
 			}
 		}
 		bytes := len(key) + len(value) + replicaItemOverheadBytes
@@ -665,19 +765,19 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 		}
 	}
 
-	issue := func(clientEP *netsim.Endpoint, seq int, closed bool) {
+	issue := func(clientEP *netsim.Endpoint, budget *retryBudget, seq int, closed bool) {
 		if cfg.WriteFraction > 0 && rng.Float64() < cfg.WriteFraction {
-			startWrite(clientEP, seq, closed)
+			startWrite(clientEP, budget, seq, closed)
 		} else {
-			startRead(clientEP, seq, closed)
+			startRead(clientEP, budget, seq, closed)
 		}
 	}
-	issueClosed = func(clientEP *netsim.Endpoint) {
+	issueClosed = func(clientEP *netsim.Endpoint, budget *retryBudget) {
 		if issued >= total {
 			return
 		}
 		issued++
-		issue(clientEP, issued, true)
+		issue(clientEP, budget, issued, true)
 	}
 
 	for _, srv := range servers {
@@ -687,8 +787,10 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 	if cfg.ArrivalRate > 0 {
 		arrRng := rand.New(rand.NewSource(cfg.Seed + arrivalSeedOffset))
 		clientEPs := make([]*netsim.Endpoint, cfg.Clients)
+		clientBudgets := make([]*retryBudget, cfg.Clients)
 		for c := range clientEPs {
 			clientEPs[c] = fabric.Endpoint(fmt.Sprintf("client-%d", c))
+			clientBudgets[c] = newRetryBudget(plan.RetryBudget())
 		}
 		draw := func() float64 {
 			if cfg.DeterministicArrivals {
@@ -710,7 +812,7 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 				lastArr = at
 				arrCount++
 			}
-			issue(clientEPs[(seq-1)%cfg.Clients], seq, false)
+			issue(clientEPs[(seq-1)%cfg.Clients], clientBudgets[(seq-1)%cfg.Clients], seq, false)
 			next := at + draw()
 			sim.At(next, func() { arrive(next) })
 		}
@@ -718,7 +820,9 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 		sim.At(first, func() { arrive(first) })
 	} else {
 		for c := 0; c < cfg.Clients; c++ {
-			issueClosed(fabric.Endpoint(fmt.Sprintf("client-%d", c)))
+			// Each client thread owns its retry budget, as each would in a
+			// real client process.
+			issueClosed(fabric.Endpoint(fmt.Sprintf("client-%d", c)), newRetryBudget(plan.RetryBudget()))
 		}
 	}
 
@@ -823,6 +927,23 @@ func RunFleet(f *Fleet, cfg FleetConfig) (FleetResults, error) {
 		Failovers:    f.Failovers,
 		Writes:       writesDone,
 		WritesFailed: writesFailed,
+		Hedges:       f.Hedges,
+		HedgeWins:    f.HedgeWins,
+		BudgetDenied: f.BudgetDenied,
+	}
+	for _, srv := range servers {
+		out.ShedQueueFull += srv.ShedQueueFull
+		out.ShedDeadline += srv.ShedDeadline
+		if hw := srv.Workers.QueueHighWater(); hw > out.QueueHighWater {
+			out.QueueHighWater = hw
+		}
+	}
+	if cfg.OverloadProbe != nil {
+		// Report per-server high-water marks in server order so the gauge's
+		// Max fold — and the rendered metric — is deterministic.
+		for _, srv := range servers {
+			cfg.OverloadProbe.QueueHighWater(srv.Workers.QueueHighWater())
+		}
 	}
 	if len(queueDelays) > 0 {
 		sort.Float64s(queueDelays)

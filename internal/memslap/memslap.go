@@ -48,6 +48,12 @@ type Config struct {
 	// FaultProbe, when non-nil, observes retries, timeouts, degraded
 	// batches and pressure bursts (obs layer).
 	FaultProbe obs.FaultProbe
+
+	// OverloadProbe, when non-nil, observes overload-control events:
+	// retry-budget denials, hedged reads, client-observed sheds and
+	// server queue high-water marks. Registered only for plans with
+	// overload controls armed (fault.Plan.OverloadArmed), like FaultProbe.
+	OverloadProbe obs.OverloadProbe
 }
 
 // Results aggregates a run.
@@ -154,8 +160,8 @@ func Run(sim *des.Sim, fabric *netsim.Fabric, srv *kvs.Server, keys [][]byte, cf
 		return Results{}, err
 	}
 
-	var issue func(clientEP *netsim.Endpoint)
-	issue = func(clientEP *netsim.Endpoint) {
+	var issue func(clientEP *netsim.Endpoint, budget *retryBudget)
+	issue = func(clientEP *netsim.Endpoint, budget *retryBudget) {
 		if issued >= total {
 			return
 		}
@@ -167,7 +173,7 @@ func Run(sim *des.Sim, fabric *netsim.Fabric, srv *kvs.Server, keys [][]byte, cf
 		}
 		sent := sim.Now()
 		sendMGet(sim, clientEP, serverEP, srv, batch, requestBytes(batch, cfg.RequestOverheadBytes),
-			cfg.Faults, cfg.FaultProbe, func(res kvs.MGetResult, ok bool, nRetries, nTimeouts int) {
+			cfg.Faults, cfg.FaultProbe, budget, cfg.OverloadProbe, func(res kvs.MGetResult, ok bool, nRetries, nTimeouts int) {
 				completed++
 				if !ok && cfg.FaultProbe != nil {
 					cfg.FaultProbe.BatchDegraded(0, len(batch), sim.Now())
@@ -189,13 +195,15 @@ func Run(sim *des.Sim, fabric *netsim.Fabric, srv *kvs.Server, keys [][]byte, cf
 					measStart = sim.Now()
 					srv.ResetStats()
 				}
-				issue(clientEP)
+				issue(clientEP, budget)
 			})
 	}
 
 	schedulePressure(sim, srv, cfg.FaultProbe, func() bool { return completed >= total })
 	for c := 0; c < cfg.Clients; c++ {
-		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)))
+		// Each client thread owns its retry budget, as each would in a
+		// real client process.
+		issue(fabric.Endpoint(fmt.Sprintf("client-%d", c)), newRetryBudget(cfg.Faults.RetryBudget()))
 	}
 	if err := runToCompletion(sim, total, func() int { return completed }); err != nil {
 		return Results{}, err

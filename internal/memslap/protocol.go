@@ -30,6 +30,60 @@ func requestBytes(sub [][]byte, overhead int) int {
 	return n
 }
 
+// retryBudget is the client-side retry token bucket (budget= in the fault
+// spec): each retry spends one token and each fully-served request refills
+// fault.BudgetRefillPerSuccess tokens, up to the configured cap. The bucket
+// starts full, so a client rides out a short fault burst at full retry
+// aggression, but under sustained overload retries are capped at ~10% of
+// goodput — the amplification bound that keeps timeouts from turning
+// overload into metastable collapse. A nil budget is unlimited (the
+// default), preserving the pre-budget protocol byte-for-byte.
+type retryBudget struct {
+	tokens float64
+	cap    float64
+}
+
+// newRetryBudget builds a bucket with the given capacity; cap <= 0 (budget
+// unset in the spec) returns the nil, unlimited budget.
+func newRetryBudget(tokens int) *retryBudget {
+	if tokens <= 0 {
+		return nil
+	}
+	return &retryBudget{tokens: float64(tokens), cap: float64(tokens)}
+}
+
+// spend takes one token, reporting false when the bucket cannot cover a
+// whole retry.
+func (b *retryBudget) spend() bool {
+	if b == nil {
+		return true
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// refill credits a fully-served request's success back into the bucket.
+func (b *retryBudget) refill() {
+	if b == nil {
+		return
+	}
+	if b.tokens += fault.BudgetRefillPerSuccess; b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// tokensLeft reports the current balance (unlimited buckets answer -1);
+// for tests and end-of-run accounting.
+func (b *retryBudget) tokensLeft() float64 {
+	if b == nil {
+		return -1
+	}
+	return b.tokens
+}
+
 // sendMGet issues one Multi-Get (sub-)batch to srv over the fabric and
 // invokes done exactly once. With a nil plan this is precisely the healthy
 // pipeline — request send, HandleMGet, response send — with not one extra
@@ -39,19 +93,63 @@ func requestBytes(sub [][]byte, overhead int) int {
 // are exhausted. The finished latch discards duplicate deliveries and
 // stale responses that arrive after their attempt timed out, so done can
 // never fire twice.
-func sendMGet(sim *des.Sim, clientEP, serverEP *netsim.Endpoint, srv *kvs.Server, sub [][]byte, reqBytes int, plan *fault.Plan, probe obs.FaultProbe, done func(res kvs.MGetResult, ok bool, retries, timeouts int)) {
+//
+// Two overload controls hook in here. A Rejected response (server-side
+// admission shed) advances to the next attempt immediately — no point
+// waiting out the timeout when the server already said no — with the
+// attempt generation counter keeping the now-stale timeout from advancing
+// a second time. And every advance, whether from timeout or rejection,
+// must be covered by the client's retry budget: an empty bucket degrades
+// the batch on the spot instead of amplifying the overload that emptied
+// it. A successful completion refills the budget.
+func sendMGet(sim *des.Sim, clientEP, serverEP *netsim.Endpoint, srv *kvs.Server, sub [][]byte, reqBytes int, plan *fault.Plan, probe obs.FaultProbe, budget *retryBudget, op obs.OverloadProbe, done func(res kvs.MGetResult, ok bool, retries, timeouts int)) {
 	attempt := 0
 	timeouts := 0
 	finished := false
+	gen := 0 // attempt generation: bumped on every advance, guards stale timeouts/rejections
 	var try func()
+	advance := func() {
+		if attempt >= plan.MaxRetries() {
+			finished = true
+			done(kvs.MGetResult{}, false, attempt, timeouts)
+			return
+		}
+		if !budget.spend() {
+			if op != nil {
+				op.BudgetDenied(sim.Now())
+			}
+			finished = true
+			done(kvs.MGetResult{}, false, attempt, timeouts)
+			return
+		}
+		gen++
+		attempt++
+		backoff := plan.BackoffFor(attempt)
+		if probe != nil {
+			probe.RetryScheduled(attempt, backoff, sim.Now())
+		}
+		sim.After(backoff, try)
+	}
 	try = func() {
+		myGen := gen
 		clientEP.Send(serverEP, reqBytes, func() {
 			srv.HandleMGet(sub, func(res kvs.MGetResult) {
 				serverEP.Send(clientEP, res.RespBytes, func() {
 					if finished {
 						return
 					}
+					if res.Rejected {
+						if gen != myGen {
+							return // this attempt already timed out and advanced
+						}
+						if op != nil {
+							op.RejectedObserved(0, sim.Now())
+						}
+						advance()
+						return
+					}
 					finished = true
+					budget.refill()
 					done(res, true, attempt, timeouts)
 				})
 			})
@@ -60,24 +158,14 @@ func sendMGet(sim *des.Sim, clientEP, serverEP *netsim.Endpoint, srv *kvs.Server
 			return
 		}
 		sim.After(plan.Timeout(), func() {
-			if finished {
+			if finished || gen != myGen {
 				return
 			}
 			timeouts++
 			if probe != nil {
 				probe.TimeoutFired(attempt, sim.Now())
 			}
-			if attempt >= plan.MaxRetries() {
-				finished = true
-				done(kvs.MGetResult{}, false, attempt, timeouts)
-				return
-			}
-			attempt++
-			backoff := plan.BackoffFor(attempt)
-			if probe != nil {
-				probe.RetryScheduled(attempt, backoff, sim.Now())
-			}
-			sim.After(backoff, try)
+			advance()
 		})
 	}
 	try()
@@ -154,6 +242,7 @@ func MGet(sim *des.Sim, fabric *netsim.Fabric, client string, servers []*kvs.Ser
 	values := make([][]byte, len(keys))
 	pe := &kvs.PartialError{}
 	clientEP := fabric.Endpoint(client)
+	budget := newRetryBudget(plan.RetryBudget())
 	for s := range servers {
 		if len(positions[s]) == 0 {
 			continue
@@ -165,7 +254,7 @@ func MGet(sim *des.Sim, fabric *netsim.Fabric, client string, servers []*kvs.Ser
 			sub[j] = keys[p]
 		}
 		serverEP := fabric.Endpoint(fmt.Sprintf("server-%d", s))
-		sendMGet(sim, clientEP, serverEP, servers[s], sub, requestBytes(sub, 8), plan, probe,
+		sendMGet(sim, clientEP, serverEP, servers[s], sub, requestBytes(sub, 8), plan, probe, budget, nil,
 			func(res kvs.MGetResult, ok bool, retries, timeouts int) {
 				pe.Retries += retries
 				pe.Timeouts += timeouts

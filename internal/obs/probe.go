@@ -120,6 +120,37 @@ type FleetProbe interface {
 	QuorumWrite(acks int, at float64)
 }
 
+// OverloadProbe observes the overload-control layer: server-side admission
+// rejections and queue-deadline sheds (internal/kvs), and client-side hedged
+// reads and retry-budget denials (internal/memslap). Registration is gated
+// on fault.Plan.OverloadArmed(), mirroring FaultProbe, so runs without
+// overload controls keep their goldens untouched. Counters-only by design:
+// an overloaded run sheds thousands of batches, and one instant per shed
+// would swamp the trace without adding information the counters lack.
+type OverloadProbe interface {
+	// QueueFullShed fires when admission control rejects a batch because
+	// the server's worker queue is at its configured depth.
+	QueueFullShed(at float64)
+	// DeadlineShed fires when a queued batch is dropped at grant time
+	// because it waited longer than the queue deadline.
+	DeadlineShed(waited, at float64)
+	// QueueHighWater records a server's maximum observed worker-queue
+	// depth (end-of-run gauge, folded with Max across servers).
+	QueueHighWater(depth int)
+	// HedgeFired fires when a read issues its hedged duplicate to the
+	// replica at `rank` after the hedge delay.
+	HedgeFired(rank int, at float64)
+	// HedgeWon fires when a hedged read resolves keys before the primary
+	// attempt it was hedging.
+	HedgeWon(rank int, at float64)
+	// BudgetDenied fires when an exhausted retry budget forces a request
+	// to degrade instead of retrying.
+	BudgetDenied(at float64)
+	// RejectedObserved fires when the client receives a shed response and
+	// rotates to the next replica without waiting for its timeout.
+	RejectedObserved(rank int, at float64)
+}
+
 // secondsToUs converts DES virtual seconds to trace microseconds.
 const secondsToUs = 1e6
 
@@ -545,4 +576,43 @@ func (p *fleetProbe) ReadRepair(keys int, at float64) {
 
 func (p *fleetProbe) QuorumWrite(acks int, at float64) {
 	p.quorumWrites.Inc()
+}
+
+type overloadProbe struct {
+	shedFull     *Counter
+	shedDeadline *Counter
+	queueHW      *Gauge
+	hedges       *Counter
+	hedgeWins    *Counter
+	budgetDenied *Counter
+	rejectsSeen  *Counter
+}
+
+// OverloadProbe returns a probe recording overload-control events into this
+// scope, or nil when the collector is nil. All series land in the
+// overload_* namespace; see the OverloadProbe interface for why no trace
+// instants are emitted.
+func (c *Collector) OverloadProbe() OverloadProbe {
+	if c == nil {
+		return nil
+	}
+	return &overloadProbe{
+		shedFull:     c.Counter("overload_shed_queue_full_total"),
+		shedDeadline: c.Counter("overload_shed_deadline_total"),
+		queueHW:      c.Gauge("overload_queue_highwater"),
+		hedges:       c.Counter("overload_hedges_total"),
+		hedgeWins:    c.Counter("overload_hedge_wins_total"),
+		budgetDenied: c.Counter("overload_budget_denied_total"),
+		rejectsSeen:  c.Counter("overload_client_rejects_total"),
+	}
+}
+
+func (p *overloadProbe) QueueFullShed(at float64)        { p.shedFull.Inc() }
+func (p *overloadProbe) DeadlineShed(waited, at float64) { p.shedDeadline.Inc() }
+func (p *overloadProbe) QueueHighWater(depth int)        { p.queueHW.Max(float64(depth)) }
+func (p *overloadProbe) HedgeFired(rank int, at float64) { p.hedges.Inc() }
+func (p *overloadProbe) HedgeWon(rank int, at float64)   { p.hedgeWins.Inc() }
+func (p *overloadProbe) BudgetDenied(at float64)         { p.budgetDenied.Inc() }
+func (p *overloadProbe) RejectedObserved(rank int, at float64) {
+	p.rejectsSeen.Inc()
 }

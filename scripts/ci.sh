@@ -98,6 +98,26 @@ diff "$tmp/fleet1.table" internal/experiments/testdata/fleet_study_table.golden.
 diff "$tmp/fleet1.json" internal/experiments/testdata/fleet_study_trace.golden.json
 diff "$tmp/fleet1.csv" internal/experiments/testdata/fleet_study_metrics.golden.csv
 
+# Overload smoke: the metastable-overload study (admission control, queue
+# deadlines, retry budgets, hedged reads vs the controls-off collapse) must
+# reproduce its goldens AND self-diff byte-for-byte at two -parallel counts.
+echo "==> CLI smoke (overload vs goldens, -parallel 1 vs 4)"
+run_overload() {
+    $GO run ./cmd/kvsbench -overload -items 2000 -workers 2 -clients 4 \
+        -requests 400 -batches 8 -seed 7 -overload-servers 2 \
+        -overload-mults 0.5,1,1.5,2 \
+        -parallel "$1" -trace "$2" -metrics "$3" > "$4"
+}
+run_overload 1 "$tmp/overload1.json" "$tmp/overload1.csv" "$tmp/overload1.txt"
+run_overload 4 "$tmp/overload4.json" "$tmp/overload4.csv" "$tmp/overload4.txt"
+diff "$tmp/overload1.txt" "$tmp/overload4.txt"
+diff "$tmp/overload1.json" "$tmp/overload4.json"
+diff "$tmp/overload1.csv" "$tmp/overload4.csv"
+sed '$d' "$tmp/overload1.txt" > "$tmp/overload1.table" # emit() ends with one blank line
+diff "$tmp/overload1.table" internal/experiments/testdata/overload_study_table.golden.txt
+diff "$tmp/overload1.json" internal/experiments/testdata/overload_study_trace.golden.json
+diff "$tmp/overload1.csv" internal/experiments/testdata/overload_study_metrics.golden.csv
+
 # Sim-speed smoke: -simspeed must print the simulator-throughput table to
 # stderr while leaving stdout (the deterministic tables) untouched by any
 # wall-clock value, and benchdiff must accept a snapshot against itself.
