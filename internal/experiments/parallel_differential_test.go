@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"simdhtbench/internal/fault"
+	"simdhtbench/internal/obs"
+	"simdhtbench/internal/obs/prof"
+)
+
+// fleetArtifacts runs the ci.sh-shaped fleet study at a given (-parallel,
+// -simworkers) composition and renders every artifact class the toolchain
+// emits: the report table, the trace JSON, the metrics CSV and the folded
+// cycle profile.
+func fleetArtifacts(t *testing.T, parallel, simWorkers int) (table, traceJSON, metricsCSV, folded []byte) {
+	t.Helper()
+	spec, err := fault.ParseSpec(fleetSpecCLI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	set := prof.NewSet()
+	col.EnableProfiling(set)
+	o := FleetOptions{
+		KVSOptions:  kvsObsOptions(parallel, col),
+		FleetSizes:  []int{3, 5},
+		ArrivalRate: 2e5,
+	}
+	o.Requests = 60
+	o.Faults = spec
+	o.SimWorkers = simWorkers
+	tbl, err := FleetStudy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf, fb bytes.Buffer
+	tbl.Fprint(&buf)
+	tr, ms := renderObs(t, col)
+	set.WriteFolded(&fb)
+	return buf.Bytes(), tr, ms, fb.Bytes()
+}
+
+// overloadArtifacts is the overload-study analogue of fleetArtifacts.
+func overloadArtifacts(t *testing.T, parallel, simWorkers int) (table, traceJSON, metricsCSV, folded []byte) {
+	t.Helper()
+	col := obs.NewCollector()
+	set := prof.NewSet()
+	col.EnableProfiling(set)
+	o := overloadObsOptions(parallel, col)
+	o.SimWorkers = simWorkers
+	res, err := OverloadStudyResult(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf, fb bytes.Buffer
+	OverloadTable(o, res).Fprint(&buf)
+	tr, ms := renderObs(t, col)
+	set.WriteFolded(&fb)
+	return buf.Bytes(), tr, ms, fb.Bytes()
+}
+
+// TestParallelDESBitIdentical is the tentpole determinism gate: the
+// partitioned engine must produce byte-identical tables, trace JSON, metrics
+// CSV and folded profiles at every -simworkers count, composed with every
+// -parallel sweep width. -simworkers only changes how many host goroutines
+// advance the fixed partition set, so 1, 2 and 8 must agree bitwise; the
+// sweep axis (-parallel) was already deterministic and must stay so.
+func TestParallelDESBitIdentical(t *testing.T) {
+	type runner func(t *testing.T, parallel, simWorkers int) (table, traceJSON, metricsCSV, folded []byte)
+	studies := []struct {
+		name string
+		run  runner
+	}{
+		{"fleet", fleetArtifacts},
+		{"overload", overloadArtifacts},
+	}
+	for _, study := range studies {
+		study := study
+		t.Run(study.name, func(t *testing.T) {
+			tbl1, tr1, ms1, fp1 := study.run(t, 1, 1)
+			for _, cfg := range []struct{ parallel, simWorkers int }{
+				{1, 2}, {1, 8}, {4, 1}, {4, 8},
+			} {
+				label := fmt.Sprintf("-parallel %d -simworkers %d", cfg.parallel, cfg.simWorkers)
+				tbl, tr, ms, fp := study.run(t, cfg.parallel, cfg.simWorkers)
+				if !bytes.Equal(tbl1, tbl) {
+					t.Errorf("%s table diverges from -parallel 1 -simworkers 1", label)
+				}
+				if !bytes.Equal(tr1, tr) {
+					t.Errorf("%s trace JSON diverges from -parallel 1 -simworkers 1", label)
+				}
+				if !bytes.Equal(ms1, ms) {
+					t.Errorf("%s metrics CSV diverges from -parallel 1 -simworkers 1", label)
+				}
+				if !bytes.Equal(fp1, fp) {
+					t.Errorf("%s folded profile diverges from -parallel 1 -simworkers 1", label)
+				}
+			}
+			// The run must have exercised the partitioned control plane, not a
+			// silent serial fallback: per-partition scopes leave their mark in
+			// the metrics artifact.
+			if !strings.Contains(string(ms1), "part=") {
+				t.Error("metrics artifact has no per-partition scope labels — partitioned mode did not engage")
+			}
+		})
+	}
+}
+
+// TestFleetPartitionedMachineryBites guards against the differential test
+// passing vacuously: at the golden workload the partitioned fleet must still
+// see churn, rebalance traffic and repairs flowing over the simulated fabric.
+func TestFleetPartitionedMachineryBites(t *testing.T) {
+	spec, err := fault.ParseSpec(fleetSpecCLI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := FleetOptions{
+		KVSOptions:  KVSOptions{Items: 2000, Workers: 2, Clients: 2, Requests: 60, Batches: []int{8}, Seed: 7},
+		FleetSizes:  []int{5},
+		ArrivalRate: 2e5,
+	}
+	o.Faults = spec
+	o.SimWorkers = 2
+	res, err := FleetStudyPoint(5, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 || res.KeysMoved == 0 {
+		t.Errorf("no membership churn in partitioned mode (epochs=%d moved=%d)", res.Epochs, res.KeysMoved)
+	}
+	if res.Failovers == 0 {
+		t.Error("no failovers in partitioned mode — fault streams not engaged")
+	}
+}

@@ -338,6 +338,24 @@ func (p *Plan) ForServer(i int) *Plan {
 	return &d
 }
 
+// ForPartition derives the message-fault stream for sends originating on
+// simulation partition i of a partitioned fabric. Each partition needs its
+// own seeded RNG — fault draws happen concurrently across partitions, and a
+// per-partition stream keeps the draw sequence a function of the partition's
+// own deterministic send order, independent of the host worker count. The
+// salt is distinct from ForServer's so a partition's message stream never
+// collides with a server's crash/slow/pressure stream, and window phases are
+// not staggered: crash and slow windows belong to the per-server plans, not
+// the fabric.
+func (p *Plan) ForPartition(i int) *Plan {
+	if p == nil {
+		return nil
+	}
+	d := *p
+	d.rng = rand.New(rand.NewSource((p.seed ^ 0x706172746974696F) + int64(i)*0x5DEECE66D))
+	return &d
+}
+
 // stagger offsets server i's window phase by the golden-ratio fraction of
 // the period — an even spread for any server count.
 func stagger(period float64, i int) float64 {

@@ -133,6 +133,31 @@ func localDerived(n int) []stats {
 	return out
 }
 
+// partitionWorkers mirrors the des.Partitioned window loop: persistent
+// workers striped over partitions, fed window horizons over channels. The
+// striped counts write is the sanctioned per-slot shape; the shared arrival
+// map is the planted cross-partition violation — merged state must flow
+// through per-slot slices (or a channel) and be combined in canonical order
+// by the driver, never written from two partition workers.
+func partitionWorkers(parts, workers int) []uint64 {
+	counts := make([]uint64, parts)
+	arrivals := make(map[int]uint64, parts)
+	start := make([]chan float64, workers)
+	for w := 1; w < workers; w++ {
+		start[w] = make(chan float64, 1)
+		go func(w int) {
+			for range start[w] {
+				for p := w; p < parts; p += workers {
+					counts[p] = uint64(compute(p)) // legal: per-slot write through the worker's stripe
+					arrivals[p] = counts[p]        // want `map write into arrivals, shared across workers spawned in partitionWorkers`
+				}
+			}
+		}(w)
+	}
+	_ = arrivals
+	return counts
+}
+
 func nestedWorker(n int) {
 	total := 0
 	for i := 0; i < n; i++ {

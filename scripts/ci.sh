@@ -118,6 +118,48 @@ diff "$tmp/overload1.table" internal/experiments/testdata/overload_study_table.g
 diff "$tmp/overload1.json" internal/experiments/testdata/overload_study_trace.golden.json
 diff "$tmp/overload1.csv" internal/experiments/testdata/overload_study_metrics.golden.csv
 
+# Partitioned-engine smoke: the same fleet and overload runs on the
+# partitioned engine must self-diff byte-for-byte between -simworkers 1 and
+# -simworkers 8 (composed with different -parallel counts), and obsdiff must
+# report zero delta between a serial-engine manifest and itself re-run — the
+# tentpole determinism contract, re-checked through the CLI. Partitioned-mode
+# artifacts legitimately differ from the serial goldens (the control plane is
+# message-based), so the partitioned runs diff only against each other.
+echo "==> CLI smoke (fleet/overload, -simworkers 1 vs 8)"
+run_fleet_pd() {
+    $GO run ./cmd/kvsbench -fleet -items 2000 -workers 2 -clients 2 \
+        -requests 60 -batches 8 -seed 7 -fleet-sizes 3,5 -arrival-rate 200000 \
+        -faults 'drop=0.05,crash=100µs:30µs,timeout=10µs,retries=2,backoff=5µs' \
+        -parallel "$1" -simworkers "$2" -trace "$3" -metrics "$4" > "$5"
+}
+run_fleet_pd 1 1 "$tmp/fleetw1.json" "$tmp/fleetw1.csv" "$tmp/fleetw1.txt"
+run_fleet_pd 4 8 "$tmp/fleetw8.json" "$tmp/fleetw8.csv" "$tmp/fleetw8.txt"
+diff "$tmp/fleetw1.txt" "$tmp/fleetw8.txt"
+diff "$tmp/fleetw1.json" "$tmp/fleetw8.json"
+diff "$tmp/fleetw1.csv" "$tmp/fleetw8.csv"
+run_overload_pd() {
+    $GO run ./cmd/kvsbench -overload -items 2000 -workers 2 -clients 4 \
+        -requests 400 -batches 8 -seed 7 -overload-servers 2 \
+        -overload-mults 0.5,1,1.5,2 \
+        -parallel "$1" -simworkers "$2" -metrics "$3" > "$4"
+}
+run_overload_pd 1 1 "$tmp/overloadw1.csv" "$tmp/overloadw1.txt"
+run_overload_pd 4 8 "$tmp/overloadw8.csv" "$tmp/overloadw8.txt"
+diff "$tmp/overloadw1.txt" "$tmp/overloadw8.txt"
+diff "$tmp/overloadw1.csv" "$tmp/overloadw8.csv"
+# Manifest diff through obsdiff: one host worker vs eight must produce a
+# zero-delta run manifest (config, seeds, artifact digests, metric snapshot;
+# wall-clock fields are ignored by design).
+run_fleet_manifest() {
+    $GO run ./cmd/kvsbench -fleet -items 2000 -workers 2 -clients 2 \
+        -requests 60 -batches 8 -seed 7 -fleet-sizes 3,5 -arrival-rate 200000 \
+        -faults 'drop=0.05,crash=100µs:30µs,timeout=10µs,retries=2,backoff=5µs' \
+        -simworkers "$1" -manifest "$2" > /dev/null 2>&1
+}
+run_fleet_manifest 1 "$tmp/fleetm1.json"
+run_fleet_manifest 8 "$tmp/fleetm8.json"
+$GO run ./cmd/obsdiff "$tmp/fleetm1.json" "$tmp/fleetm8.json" >/dev/null
+
 # Sim-speed smoke: -simspeed must print the simulator-throughput table to
 # stderr while leaving stdout (the deterministic tables) untouched by any
 # wall-clock value, and benchdiff must accept a snapshot against itself.
